@@ -1,0 +1,97 @@
+// Command stronghold-capacity is a planning tool: for a model
+// configuration it prints each training method's memory footprint
+// against the chosen platform, the STRONGHOLD window plan, and the
+// NVMe-tier endurance estimate — everything needed to decide how (and
+// whether) a model can be trained before committing GPU hours.
+//
+// Usage:
+//
+//	stronghold-capacity -l 260 -hs 2560 -b 4
+//	stronghold-capacity -size 39.5 -platform v100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stronghold/internal/core"
+	"stronghold/internal/hw"
+	"stronghold/internal/modelcfg"
+	"stronghold/internal/perf"
+)
+
+func main() {
+	layers := flag.Int("l", 0, "number of transformer layers (overrides -size)")
+	sizeB := flag.Float64("size", 4, "target model size in billions")
+	hidden := flag.Int("hs", 2560, "hidden size")
+	batch := flag.Int("b", 4, "batch size per GPU")
+	platform := flag.String("platform", "v100", "platform: v100 | a10-cluster")
+	flag.Parse()
+
+	var plat hw.Platform
+	switch *platform {
+	case "v100":
+		plat = hw.V100Platform()
+	case "a10-cluster":
+		plat = hw.A10ClusterPlatform()
+	default:
+		fmt.Fprintf(os.Stderr, "stronghold-capacity: unknown platform %q\n", *platform)
+		os.Exit(1)
+	}
+
+	var cfg modelcfg.Config
+	if *layers > 0 {
+		cfg = modelcfg.NewConfig(*layers, *hidden, 16)
+	} else {
+		cfg = modelcfg.ConfigForSize(*sizeB, *hidden, 1)
+	}
+	cfg.BatchSize = *batch
+	if plat.Nodes > 1 {
+		cfg.ModelParallel = plat.Nodes
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "stronghold-capacity: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("model: %.1fB parameters (%d layers x hidden %d, batch %d, MP %d)\n",
+		cfg.ParamsBillion(), cfg.Layers, cfg.Hidden, cfg.BatchSize, cfg.ModelParallel)
+	fmt.Printf("platform: %s — GPU %dGB, usable host %dGB, NVMe %dGB\n\n",
+		plat.Name, plat.GPU.MemBytes/hw.GB, plat.CPU.UsableMemBytes/hw.GB, plat.NVMe.Bytes/hw.GB)
+
+	fmt.Printf("%-22s %10s %10s %10s  %s\n", "method", "GPU", "host", "disk", "verdict")
+	methods := []modelcfg.Method{
+		modelcfg.Megatron, modelcfg.L2L, modelcfg.ZeROOffload,
+		modelcfg.ZeROInfinity, modelcfg.ZeROInfinityNVMe,
+		modelcfg.Stronghold, modelcfg.StrongholdNVMe,
+	}
+	gb := func(b int64) string { return fmt.Sprintf("%.1fGB", float64(b)/float64(hw.GB)) }
+	for _, m := range methods {
+		fp := modelcfg.Footprint(m, cfg, 8, 1)
+		verdict := "fits"
+		if !fp.Fits(plat.GPU.MemBytes, plat.CPU.UsableMemBytes, plat.NVMe.Bytes) {
+			verdict = "OOM"
+			switch {
+			case fp.GPU > plat.GPU.MemBytes:
+				verdict += " (GPU)"
+			case fp.Host > plat.CPU.UsableMemBytes:
+				verdict += " (host)"
+			default:
+				verdict += " (disk)"
+			}
+		}
+		fmt.Printf("%-22s %10s %10s %10s  %s\n", m, gb(fp.GPU), gb(fp.Host), gb(fp.Disk), verdict)
+	}
+
+	eng := core.NewEngine(perf.NewModel(cfg, plat))
+	if d, err := eng.SolvedWindow(); err == nil {
+		fmt.Printf("\nSTRONGHOLD window plan: m=%d (P1=%d, P2=%d, Eq3=%d, memory-bound=%v)\n",
+			d.M, d.MFP, d.MBP, d.MOpt, d.MemoryBound)
+	} else {
+		fmt.Printf("\nSTRONGHOLD window plan: %v\n", err)
+	}
+	if rep, err := eng.PlanNVMeTier(); err == nil {
+		fmt.Println(rep.String())
+	}
+}

@@ -1,0 +1,137 @@
+// Command stronghold-figures regenerates the paper's tables and figures
+// from the simulation substrate and prints them as text tables — the
+// equivalent of the artifact's fig*.sh + case*_extract.sh scripts.
+//
+// Usage:
+//
+//	stronghold-figures [-only fig9] [-trace out.json]
+//
+// With no flags every experiment runs in paper order. -only selects a
+// single experiment (table1, fig1, fig4, fig6a, fig6b, fig7a, fig7b,
+// fig8a, fig8b, fig9, fig10, fig11, fig12, fig13, fig14, comm). -trace
+// writes Figure 4's Chrome trace JSON to the given path.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stronghold/internal/expt"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (e.g. fig9)")
+	tracePath := flag.String("trace", "", "write Figure 4's Chrome trace JSON here")
+	outDir := flag.String("out", "", "also write each experiment to <out>/<name>.txt (the artifact's results/ convention)")
+	flag.Parse()
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "stronghold-figures: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	runners := []struct {
+		name string
+		run  func() (string, error)
+	}{
+		{"table1", func() (string, error) { return expt.RenderTableI(expt.TableIRows()), nil }},
+		{"fig1", func() (string, error) {
+			out := expt.RenderSizeRows("Figure 1a: motivation — largest trainable size (V100)", expt.Figure1a())
+			out += "\n" + expt.RenderRelRows("Figure 1b: motivation — 1.7B throughput", expt.Figure1b())
+			return out, nil
+		}},
+		{"fig4", func() (string, error) {
+			r, err := expt.Figure4()
+			if err != nil {
+				return "", err
+			}
+			out := fmt.Sprintf("Figure 4: 4B-model trace — window m=%d, iteration %.2fs, %.1f%% of transfer time hidden under compute (%d spans)",
+				r.Window, r.IterSec, r.Overlap*100, r.Trace.Len())
+			if *tracePath != "" {
+				if err := os.WriteFile(*tracePath, r.ChromeJSON, 0o644); err != nil {
+					return "", err
+				}
+				out += "\ntrace written to " + *tracePath
+			}
+			return out, nil
+		}},
+		{"fig6a", func() (string, error) {
+			rows := expt.Figure6a()
+			return expt.RenderSizeRows("Figure 6a: largest trainable size, 32GB V100", rows) +
+				"\n" + expt.ChartFigure6a(rows), nil
+		}},
+		{"fig6b", func() (string, error) {
+			return expt.RenderSizeRows("Figure 6b: largest trainable size, 8xA10 (MP=8)", expt.Figure6b()), nil
+		}},
+		{"fig7a", func() (string, error) {
+			return expt.RenderThroughputRows("Figure 7a: throughput at each method's largest model (V100)", expt.Figure7a()), nil
+		}},
+		{"fig7b", func() (string, error) {
+			return expt.RenderThroughputRows("Figure 7b: throughput at each method's largest model (A10 cluster)", expt.Figure7b()), nil
+		}},
+		{"fig8a", func() (string, error) {
+			rows := expt.Figure8a()
+			return expt.RenderRelRows("Figure 8a: throughput on the common 1.7B model (V100)", rows) +
+				"\n" + expt.ChartFigure8a(rows), nil
+		}},
+		{"fig8b", func() (string, error) {
+			return expt.RenderScalingRows("Figure 8b: STRONGHOLD iteration time vs model size", expt.Figure8b()), nil
+		}},
+		{"fig9", func() (string, error) {
+			rows, solved, err := expt.Figure9()
+			if err != nil {
+				return "", err
+			}
+			return expt.RenderWindowRows(rows, solved) + "\n" + expt.ChartFigure9(rows, solved), nil
+		}},
+		{"fig10", func() (string, error) { return expt.RenderNVMeRows(expt.Figure10()), nil }},
+		{"fig11", func() (string, error) { return expt.RenderStreamRows(expt.Figure11()), nil }},
+		{"fig12", func() (string, error) { return expt.RenderDistRows(expt.Figure12()), nil }},
+		{"fig13", func() (string, error) { return expt.RenderInferRows(expt.Figure13()), nil }},
+		{"fig14", func() (string, error) { return expt.RenderAblationRows(expt.Figure14()), nil }},
+		{"comm", func() (string, error) { return expt.RenderCommVolumeRows(expt.CommVolume()), nil }},
+		{"jitter", func() (string, error) {
+			return expt.RenderJitterRows(expt.JitterStudy(3), 3), nil
+		}},
+		{"hetero", func() (string, error) {
+			rows, err := expt.HeteroWindowStudy()
+			if err != nil {
+				return "", err
+			}
+			return expt.RenderHeteroRows(rows), nil
+		}},
+		{"protocol", func() (string, error) {
+			v := expt.Variance(10)
+			return fmt.Sprintf("SV-D protocol: %d runs, geomean %.3f samples/s, max deviation %.2f%% (deterministic=%v; paper <3%%)",
+				v.Runs, v.GeoMeanSPS, v.MaxDeviationP, v.Deterministic), nil
+		}},
+	}
+
+	ran := false
+	for _, r := range runners {
+		if *only != "" && r.name != *only {
+			continue
+		}
+		out, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stronghold-figures: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Println()
+		if *outDir != "" {
+			path := fmt.Sprintf("%s/%s.txt", *outDir, r.name)
+			if err := os.WriteFile(path, []byte(out+"\n"), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "stronghold-figures: writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+		}
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "stronghold-figures: unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,113 @@
+// Command stronghold-train is the equivalent of the artifact's
+// examples/run.sh: simulate one training setup and print its
+// throughput, or train a real small model functionally.
+//
+// Simulation (paper-scale, default):
+//
+//	stronghold-train -m stronghold -l 50 -hs 2560 -b 4 -w 0
+//	stronghold-train -m all -l 20 -hs 2560 -b 4
+//
+// Functional mode (real math, small scale):
+//
+//	stronghold-train -functional -l 4 -hs 32 -b 2 -w 2 -iters 20
+//
+// Flags mirror the artifact's parameters: -l layers, -hs hidden size,
+// -b batch size, -w window size (0 = analytic, STRONGHOLD only).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stronghold"
+)
+
+var methodNames = map[string]stronghold.Method{
+	"megatron-lm":        stronghold.Megatron,
+	"l2l":                stronghold.L2L,
+	"zero-offload":       stronghold.ZeROOffload,
+	"zero-infinity":      stronghold.ZeROInfinity,
+	"zero-infinity-nvme": stronghold.ZeROInfinityNVMe,
+	"stronghold":         stronghold.Stronghold,
+	"stronghold-nvme":    stronghold.StrongholdNVMe,
+}
+
+func main() {
+	method := flag.String("m", "stronghold", "method: megatron-lm | l2l | zero-offload | zero-infinity | zero-infinity-nvme | stronghold | stronghold-nvme | all")
+	layers := flag.Int("l", 16, "number of transformer layers")
+	hidden := flag.Int("hs", 2048, "hidden size")
+	batch := flag.Int("b", 4, "batch size per GPU")
+	window := flag.Int("w", 0, "offloading window size (0 = analytic; STRONGHOLD only)")
+	platform := flag.String("platform", "v100", "platform: v100 | a10-cluster")
+	functional := flag.Bool("functional", false, "train a real small model instead of simulating")
+	iters := flag.Int("iters", 10, "functional-mode training iterations")
+	flag.Parse()
+
+	if *functional {
+		runFunctional(*layers, *hidden, *batch, *window, *iters)
+		return
+	}
+
+	plat := stronghold.V100
+	if *platform == "a10-cluster" {
+		plat = stronghold.A10Cluster
+	} else if *platform != "v100" {
+		fatalf("unknown platform %q", *platform)
+	}
+
+	var methods []string
+	if *method == "all" {
+		methods = []string{"megatron-lm", "l2l", "zero-offload", "zero-infinity", "stronghold"}
+	} else {
+		methods = []string{strings.ToLower(*method)}
+	}
+	fmt.Printf("%-22s %8s %12s %10s %8s %9s\n", "method", "model", "iter(s)", "samples/s", "TFLOPS", "gpu-peak")
+	for _, name := range methods {
+		m, ok := methodNames[name]
+		if !ok {
+			fatalf("unknown method %q", name)
+		}
+		res, err := stronghold.Simulate(stronghold.SimConfig{
+			Layers: *layers, Hidden: *hidden, BatchSize: *batch,
+			Platform: plat, Method: m, Window: *window,
+		})
+		if err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		if res.OOM {
+			fmt.Printf("%-22s %7.1fB %12s\n", m, res.ModelBillions, "OOM")
+			continue
+		}
+		fmt.Printf("%-22s %7.1fB %12.2f %10.3f %8.2f %7.1fGB\n",
+			m, res.ModelBillions, res.IterSeconds, res.SamplesPerSec, res.TFLOPS, res.GPUPeakGB)
+	}
+}
+
+func runFunctional(layers, hidden, batch, window, iters int) {
+	if window == 0 {
+		window = max(1, layers/2)
+	}
+	tr, err := stronghold.NewTrainer(stronghold.TrainerConfig{
+		Vocab: 128, SeqLen: 32, Hidden: hidden, Heads: 4, Layers: layers,
+		Window: window, OptimizerWorkers: 4, BatchSize: batch,
+	})
+	if err != nil {
+		fatalf("functional trainer: %v", err)
+	}
+	defer tr.Close()
+	fmt.Printf("training %d-parameter GPT (window %d/%d blocks)\n", tr.NumParams(), window, layers)
+	for i := 0; i < iters; i++ {
+		loss := tr.Step()
+		fmt.Printf("iter %3d  loss %.4f\n", i, loss)
+	}
+	f, e := tr.Transfers()
+	fmt.Printf("window transfers: %d fetches, %d evictions; peak residency %d blocks\n",
+		f, e, tr.PeakResidentBlocks())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "stronghold-train: "+format+"\n", args...)
+	os.Exit(1)
+}

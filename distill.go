@@ -1,0 +1,110 @@
+package stronghold
+
+import (
+	"fmt"
+
+	"stronghold/internal/core"
+	"stronghold/internal/data"
+	"stronghold/internal/nn"
+	"stronghold/internal/tensor"
+)
+
+// Teacher serves a (possibly much larger than device memory) model
+// forward-only with a working window, exposing per-layer activations
+// for knowledge distillation (§VI-D3).
+type Teacher struct {
+	model  *nn.GPT
+	window int
+	vocab  int
+}
+
+// NewTeacher builds a forward-only model. window is the number of
+// blocks resident at a time (0 = 2, one computing plus one
+// prefetching).
+func NewTeacher(cfg TrainerConfig) (*Teacher, error) {
+	cfg = cfg.withDefaults()
+	model, err := nn.NewGPT(cfg.gpt())
+	if err != nil {
+		return nil, err
+	}
+	w := cfg.Window
+	if w == 0 || w > cfg.Layers {
+		w = min(2, cfg.Layers)
+	}
+	return &Teacher{model: model, window: w, vocab: cfg.Vocab}, nil
+}
+
+// Activations runs forward over token ids and returns the logits plus
+// every intermediate block activation — the distillation targets
+// TensorRT-style engines cannot produce.
+func (t *Teacher) Activations(inputs [][]int) (logits [][]float32, perLayer [][]float32, err error) {
+	in, err := idsTensor(inputs, t.vocab)
+	if err != nil {
+		return nil, nil, err
+	}
+	lg, acts, err := core.ForwardWithWindow(t.model, in, t.window)
+	if err != nil {
+		return nil, nil, err
+	}
+	logits = tensorRows(lg)
+	for _, a := range acts {
+		perLayer = append(perLayer, append([]float32(nil), a.Data()...))
+	}
+	return logits, perLayer, nil
+}
+
+// NumParams returns the teacher's parameter count.
+func (t *Teacher) NumParams() int64 { return t.model.NumParams() }
+
+func tensorRows(t *tensor.Tensor) [][]float32 {
+	cols := t.Dim(-1)
+	rows := t.Size() / cols
+	out := make([][]float32, rows)
+	for r := 0; r < rows; r++ {
+		out[r] = append([]float32(nil), t.Data()[r*cols:(r+1)*cols]...)
+	}
+	return out
+}
+
+// MultiStreamTrainer exposes §IV-A's single-GPU data parallelism: the
+// batch splits across concurrent workers whose gradients all-reduce
+// before every update.
+type MultiStreamTrainer struct {
+	cfg    TrainerConfig
+	inner  *core.MultiStreamTrainer
+	loader *data.Loader
+}
+
+// NewMultiStreamTrainer builds a trainer with the given worker count
+// (BatchSize must be divisible by workers).
+func NewMultiStreamTrainer(cfg TrainerConfig, workers int) (*MultiStreamTrainer, error) {
+	cfg = cfg.withDefaults()
+	if workers < 1 {
+		return nil, fmt.Errorf("stronghold: need at least one stream worker")
+	}
+	if cfg.BatchSize%workers != 0 {
+		return nil, fmt.Errorf("stronghold: batch %d not divisible by %d workers", cfg.BatchSize, workers)
+	}
+	inner, err := core.NewMultiStreamTrainer(cfg.gpt(), cfg.adam(), workers)
+	if err != nil {
+		return nil, err
+	}
+	loader, err := data.NewLoader(cfg.Vocab, cfg.BatchSize, cfg.SeqLen, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiStreamTrainer{cfg: cfg, inner: inner, loader: loader}, nil
+}
+
+// Step trains on the next synthetic batch and returns the batch-mean
+// loss.
+func (t *MultiStreamTrainer) Step() (float64, error) {
+	return t.inner.Step(t.loader.Next())
+}
+
+// Workers returns the stream worker count.
+func (t *MultiStreamTrainer) Workers() int { return t.inner.Workers() }
+
+// InSync reports whether every worker replica holds identical
+// parameters (the single-parameter-copy invariant).
+func (t *MultiStreamTrainer) InSync() bool { return t.inner.InSync() }

@@ -1,0 +1,103 @@
+// Knowledge distillation (§VI-D3): a large "teacher" model — served
+// forward-only through a working window, so it can exceed device
+// memory — provides per-layer activations that guide the training of a
+// small "student". The student's loss mixes next-token cross-entropy
+// with matching the teacher's final logits (a simple logit-regression
+// distillation objective).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stronghold"
+)
+
+const (
+	vocab  = 128
+	seqLen = 16
+)
+
+func main() {
+	// Teacher: 12 blocks, served with only 2 resident at a time —
+	// inference-only windowing means the teacher could be far larger
+	// than "device" memory.
+	teacher, err := stronghold.NewTeacher(stronghold.TrainerConfig{
+		Vocab: vocab, SeqLen: seqLen, Hidden: 64, Heads: 4, Layers: 12,
+		Seed: 7, Window: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("teacher: %d parameters, window 2/12 blocks\n", teacher.NumParams())
+
+	// Student: 2 blocks, trained conventionally through the public API.
+	student, err := stronghold.NewTrainer(stronghold.TrainerConfig{
+		Vocab: vocab, SeqLen: seqLen, Hidden: 32, Heads: 4, Layers: 2,
+		Seed: 8, BatchSize: 2, LearningRate: 2e-3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer student.Close()
+	fmt.Printf("student: %d parameters (%.1fx smaller)\n\n",
+		student.NumParams(), float64(teacher.NumParams())/float64(student.NumParams()))
+
+	// Distillation loop: the teacher labels each batch with its argmax
+	// next-token prediction; the student trains toward those soft
+	// targets. (A production objective would use the full soft
+	// distribution; argmax keeps the example compact.)
+	batch := [][]int{
+		{1, 5, 9, 13, 17, 21, 25, 29, 33, 37, 41, 45, 49, 53, 57, 61},
+		{2, 4, 8, 16, 32, 64, 127, 3, 6, 12, 24, 48, 96, 65, 31, 62},
+	}
+	for iter := 0; iter < 8; iter++ {
+		logits, acts, err := teacher.Activations(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if iter == 0 {
+			fmt.Printf("teacher produced %d per-layer activations per pass ", len(acts))
+			fmt.Printf("(what TensorRT-style engines cannot expose)\n")
+		}
+		targets := make([][]int, len(batch))
+		for r := range batch {
+			targets[r] = make([]int, seqLen)
+			for s := 0; s < seqLen; s++ {
+				targets[r][s] = argmax(logits[r*seqLen+s])
+			}
+		}
+		loss, err := student.StepOn(batch, targets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  distill iter %d  student loss %.4f\n", iter, loss)
+	}
+
+	// At paper scale: Figure 13's shape — resident inference OOMs,
+	// windowed serving keeps scaling.
+	fmt.Println("\npaper-scale teacher serving on a 32GB V100:")
+	for _, sizeB := range []float64{1.7, 13, 39} {
+		r, err := stronghold.Simulate(stronghold.SimConfig{
+			SizeBillions: sizeB, Platform: stronghold.V100, Method: stronghold.Megatron,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		resident := "fits resident"
+		if r.OOM {
+			resident = "resident OOM -> needs the window"
+		}
+		fmt.Printf("  %5.1fB: %s\n", sizeB, resident)
+	}
+}
+
+func argmax(xs []float32) int {
+	best, bestV := 0, xs[0]
+	for i, v := range xs[1:] {
+		if v > bestV {
+			best, bestV = i+1, v
+		}
+	}
+	return best
+}

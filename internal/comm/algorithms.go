@@ -1,0 +1,74 @@
+package comm
+
+import "stronghold/internal/sim"
+
+// Additional collective algorithms beyond the ring family: recursive
+// halving/doubling (latency-optimal for small payloads) and a two-level
+// hierarchical all-reduce (intra-node then inter-node), the shapes NCCL
+// switches between. The simulated runtimes use these to pick the right
+// algorithm per payload, as a production communication library would.
+
+// hdBandwidthEfficiency is the fraction of link bandwidth
+// halving-doubling sustains: its long-distance pairings cross switch
+// tiers and cannot use the contention-free nearest-neighbor paths a
+// ring enjoys, which is why bandwidth-bound payloads prefer rings.
+const hdBandwidthEfficiency = 0.7
+
+// HalvingDoublingAllReduce returns the time of a recursive
+// halving-doubling all-reduce: 2·log2(w) steps; the i-th
+// reduce-scatter step moves bytes/2^(i+1).
+func HalvingDoublingAllReduce(bytes int64, w int, link LinkSpec) sim.Time {
+	if w <= 1 {
+		return 0
+	}
+	derated := link
+	derated.BandwidthBytesPerSec *= hdBandwidthEfficiency
+	var total sim.Time
+	// Reduce-scatter phase: bytes/2, bytes/4, …
+	chunk := float64(bytes)
+	steps := 0
+	for n := 1; n < w; n *= 2 {
+		steps++
+	}
+	for s := 0; s < steps; s++ {
+		chunk /= 2
+		total += derated.transfer(chunk)
+	}
+	// All-gather phase mirrors it.
+	return 2 * total
+}
+
+// BestAllReduce returns the faster of ring and halving-doubling for the
+// payload — rings win on bandwidth for large payloads, trees on latency
+// for small ones.
+func BestAllReduce(bytes int64, w int, link LinkSpec) sim.Time {
+	ring := RingAllReduce(bytes, w, link)
+	hd := HalvingDoublingAllReduce(bytes, w, link)
+	return min(ring, hd)
+}
+
+// HierarchicalAllReduce models a two-level all-reduce across `nodes`
+// machines with `perNode` ranks each: intra-node reduce over the fast
+// local link, inter-node ring over the fabric, then intra-node
+// broadcast. This is the topology-aware shape used on multi-GPU nodes.
+func HierarchicalAllReduce(bytes int64, nodes, perNode int, local, fabric LinkSpec) sim.Time {
+	if nodes*perNode <= 1 {
+		return 0
+	}
+	var t sim.Time
+	if perNode > 1 {
+		t += RingReduceScatter(bytes, perNode, local)
+	}
+	if nodes > 1 {
+		// Each node's representative all-reduces the node-local shard.
+		shard := bytes
+		if perNode > 1 {
+			shard = bytes / int64(perNode)
+		}
+		t += RingAllReduce(shard, nodes, fabric)
+	}
+	if perNode > 1 {
+		t += RingAllGather(bytes, perNode, local)
+	}
+	return t
+}

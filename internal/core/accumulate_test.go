@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"stronghold/internal/data"
+	"stronghold/internal/optim"
+	"stronghold/internal/tensor"
+)
+
+// splitBatch divides a batch's rows into k equal micro-batches.
+func splitBatch(b data.Batch, k int) []data.Batch {
+	bs := b.Inputs.Dim(0)
+	seq := b.Inputs.Dim(1)
+	micro := bs / k
+	var out []data.Batch
+	for i := 0; i < k; i++ {
+		in := tensor.New(micro, seq)
+		tgt := tensor.New(micro, seq)
+		copy(in.Data(), b.Inputs.Data()[i*micro*seq:(i+1)*micro*seq])
+		copy(tgt.Data(), b.Targets.Data()[i*micro*seq:(i+1)*micro*seq])
+		out = append(out, data.Batch{Inputs: in, Targets: tgt})
+	}
+	return out
+}
+
+func TestGradientAccumulationMatchesFullBatch(t *testing.T) {
+	// Two micro-batches of 2 must train (almost) identically to one
+	// batch of 4 — differences only from float reduction order.
+	full, err := NewFunctionalTrainer(smallGPT(t, 4), optim.DefaultAdamConfig(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accum, err := NewFunctionalTrainer(smallGPT(t, 4), optim.DefaultAdamConfig(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, _ := data.NewLoader(37, 4, 8, 21)
+	l2, _ := data.NewLoader(37, 4, 8, 21)
+	for i := 0; i < 3; i++ {
+		fullLoss := full.Step(l1.Next())
+		accumLoss := accum.StepAccumulated(splitBatch(l2.Next(), 2))
+		if d := fullLoss - accumLoss; d > 1e-5 || d < -1e-5 {
+			t.Fatalf("iter %d: full %v vs accumulated %v", i, fullLoss, accumLoss)
+		}
+	}
+	full.Drain()
+	accum.Drain()
+	fp, ap := full.Model.Parameters(), accum.Model.Parameters()
+	for i := range fp {
+		if !fp[i].Value.AllClose(ap[i].Value, 1e-4, 1e-6) {
+			t.Fatalf("parameter %s diverged under accumulation", fp[i].Name)
+		}
+	}
+	full.Close()
+	accum.Close()
+}
+
+func TestGradientAccumulationSingleUpdatePerStep(t *testing.T) {
+	// Accumulation over k micro-batches must trigger exactly one
+	// eviction-update cycle per layer per Step, not k.
+	tr, err := NewFunctionalTrainer(smallGPT(t, 6), optim.DefaultAdamConfig(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := data.NewLoader(37, 4, 8, 22)
+	tr.StepAccumulated(splitBatch(l.Next(), 2))
+	tr.Drain()
+	// With window 2 of 6 blocks: each micro-batch fetches (6−2) in FP
+	// and (6−2) in BP → 8 per micro, 16 per accumulated step (+warm
+	// start differences); evictions match fetches.
+	f, e := tr.Fetches(), tr.Evictions()
+	if f != e {
+		t.Fatalf("fetches %d != evictions %d", f, e)
+	}
+	if f != 2*8 {
+		t.Fatalf("fetches = %d, want 16 (two micro traversals)", f)
+	}
+	tr.Close()
+}
+
+func TestStepAccumulatedEmptyPanics(t *testing.T) {
+	tr, err := NewFunctionalTrainer(smallGPT(t, 4), optim.DefaultAdamConfig(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.StepAccumulated(nil)
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"stronghold/internal/data"
+	"stronghold/internal/optim"
+)
+
+func TestCompressedOffloadStillLearns(t *testing.T) {
+	tr, err := NewFunctionalTrainer(smallGPT(t, 6),
+		optim.AdamConfig{LR: 5e-3, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.EnableCompressedOffload(); err != nil {
+		t.Fatal(err)
+	}
+	l, _ := data.NewLoader(37, 2, 8, 41)
+	b := l.Next()
+	first := tr.Step(b)
+	var last float64
+	for i := 0; i < 25; i++ {
+		last = tr.Step(b)
+	}
+	tr.Drain()
+	tr.Close()
+	if last >= first {
+		t.Fatalf("compressed training did not learn: %v -> %v", first, last)
+	}
+}
+
+func TestCompressedOffloadDivergesFromExact(t *testing.T) {
+	// Compression is lossy by design: results must differ (slightly)
+	// from exact offloading — that is the trade-off being quantified.
+	exact, err := NewFunctionalTrainer(smallGPT(t, 4), optim.DefaultAdamConfig(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := NewFunctionalTrainer(smallGPT(t, 4), optim.DefaultAdamConfig(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := comp.EnableCompressedOffload(); err != nil {
+		t.Fatal(err)
+	}
+	le, _ := data.NewLoader(37, 2, 8, 42)
+	lc, _ := data.NewLoader(37, 2, 8, 42)
+	var diverged bool
+	for i := 0; i < 5; i++ {
+		if exact.Step(le.Next()) != comp.Step(lc.Next()) {
+			diverged = true
+		}
+	}
+	exact.Drain()
+	comp.Drain()
+	if !diverged {
+		t.Fatal("fp16 round trips should perturb the loss")
+	}
+	// But only slightly: parameters stay close.
+	ep, cp := exact.Model.Parameters(), comp.Model.Parameters()
+	for i := range ep {
+		if !ep[i].Value.AllClose(cp[i].Value, 5e-2, 5e-3) {
+			t.Fatalf("compression destroyed parameter %s", ep[i].Name)
+		}
+	}
+	exact.Close()
+	comp.Close()
+}
+
+func TestCompressedBytesAccounting(t *testing.T) {
+	tr, err := NewFunctionalTrainer(smallGPT(t, 6), optim.DefaultAdamConfig(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.EnableCompressedOffload(); err != nil {
+		t.Fatal(err)
+	}
+	l, _ := data.NewLoader(37, 2, 8, 43)
+	tr.Step(l.Next())
+	tr.Drain()
+	// After a step, the evicted (non-window) blocks sit in the half
+	// store: 4 of 6 blocks at 2 bytes/param.
+	var blockParams int64
+	for _, pi := range tr.layerIdx[2] {
+		blockParams += int64(tr.Opt.Params()[pi].NumParams())
+	}
+	want := 4 * blockParams * 2
+	if got := tr.CompressedBytes(); got != want {
+		t.Fatalf("compressed bytes %d, want %d", got, want)
+	}
+	tr.Close()
+}
+
+func TestEnableCompressionAfterStartErrors(t *testing.T) {
+	tr, err := NewFunctionalTrainer(smallGPT(t, 4), optim.DefaultAdamConfig(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	l, _ := data.NewLoader(37, 2, 8, 44)
+	tr.Step(l.Next())
+	tr.Drain()
+	if err := tr.EnableCompressedOffload(); err == nil {
+		t.Fatal("late enablement must be rejected")
+	}
+}

@@ -1,0 +1,715 @@
+package core
+
+import (
+	"fmt"
+
+	"stronghold/internal/hw"
+	"stronghold/internal/mem"
+	"stronghold/internal/modelcfg"
+	"stronghold/internal/perf"
+	"stronghold/internal/sim"
+	"stronghold/internal/trace"
+)
+
+// Features toggles the STRONGHOLD optimizations for the Figure 14
+// ablation study. The zero value disables everything (the "baseline
+// offloading scheme without optimization"); DefaultFeatures enables the
+// full system.
+type Features struct {
+	// ConcurrentOptimizers enables the §III-E1 optimizer actor pool;
+	// disabled, a single CPU worker (one core's memory bandwidth)
+	// performs all updates.
+	ConcurrentOptimizers bool
+	// UserLevelMemMgmt enables §III-E3: pinned host buffers with fully
+	// asynchronous transfers through the reserved round-robin GPU pool.
+	// Disabled, transfers are pageable, carry per-tensor allocation
+	// cost, and synchronize with compute (the PyTorch caching-allocator
+	// path).
+	UserLevelMemMgmt bool
+	// Streams is the number of multi-stream training workers (§IV-A).
+	// 0 selects automatically during warm-up; 1 disables the
+	// optimization.
+	Streams int
+	// UseNVMe stages layer states on secondary storage (§III-G).
+	UseNVMe bool
+}
+
+// DefaultFeatures returns the full STRONGHOLD configuration.
+func DefaultFeatures() Features {
+	return Features{ConcurrentOptimizers: true, UserLevelMemMgmt: true, Streams: 0}
+}
+
+// tensorsPerLayer is k in the paper's n·k/m·k allocation-count
+// discussion: distinct device buffers per Transformer block.
+const tensorsPerLayer = 8
+
+// defaultOptWorkers is the optimizer actor pool size when the caller
+// does not override it ("by default, STRONGHOLD uses all available CPU
+// cores, but the user can change this" — we default to a third of the
+// cores, leaving the rest for data loading and the framework, matching
+// the deployment guidance).
+const defaultOptWorkers = 16
+
+// Engine simulates STRONGHOLD training of one model on one GPU server.
+type Engine struct {
+	Model      perf.Model
+	Window     int // 0 = solve analytically during warm-up
+	Feat       Features
+	OptWorkers int // 0 = defaultOptWorkers
+	// LayerScale, when non-nil (length = layers), scales each layer's
+	// compute and transfer volume — the heterogeneous-structure case of
+	// §III-B/§III-D (e.g. alternating dense/MoE blocks). Capacity
+	// checks conservatively size the window for the largest layer.
+	LayerScale []float64
+	// TransferJitter adds deterministic multiplicative jitter (up to
+	// 2x the fraction) to every PCIe transfer — the robustness study of
+	// how window depth absorbs transfer-time variability.
+	TransferJitter float64
+}
+
+// NewEngine builds a STRONGHOLD engine with default features.
+func NewEngine(m perf.Model) *Engine {
+	return &Engine{Model: m, Feat: DefaultFeatures()}
+}
+
+// method returns the memory-model method for the feature set.
+func (e *Engine) method() modelcfg.Method {
+	if e.Feat.UseNVMe {
+		return modelcfg.StrongholdNVMe
+	}
+	return modelcfg.Stronghold
+}
+
+// PickStreams returns the multi-stream worker count the warm-up phase
+// selects: the largest divisor k of the batch such that k workers fit
+// in GPU memory and add aggregate utilization (§IV-A: "the number of
+// concurrent streams used is determined during the warm-up phase").
+func (e *Engine) PickStreams(window int) int {
+	if e.Feat.Streams > 0 {
+		return e.Feat.Streams
+	}
+	cfg := e.Model.Cfg
+	best := 1
+	for _, k := range []int{4, 3, 2} {
+		if cfg.BatchSize%k != 0 {
+			continue
+		}
+		fp := modelcfg.Footprint(e.method(), cfg, window, k)
+		if fp.GPU > e.Model.Plat.GPU.MemBytes {
+			continue
+		}
+		per := modelcfg.KernelUtilization(cfg.BatchSize / k)
+		if float64(k)*per <= modelcfg.KernelUtilization(cfg.BatchSize)+0.05 {
+			continue // no aggregate gain
+		}
+		best = k
+		break
+	}
+	return best
+}
+
+// SolvedWindow runs the warm-up profiling + analytical model and
+// returns the window decision.
+func (e *Engine) SolvedWindow() (WindowDecision, error) {
+	avail := e.availableWindowBytes()
+	prof := UniformProfile(e.Model, avail, e.optWorkers())
+	return SolveWindow(prof)
+}
+
+func (e *Engine) optWorkers() int {
+	if !e.Feat.ConcurrentOptimizers {
+		return 1
+	}
+	if e.OptWorkers > 0 {
+		return e.OptWorkers
+	}
+	return defaultOptWorkers
+}
+
+// availableWindowBytes is S_avail: device memory left for the window
+// after resident layers, activations and runtime workspace.
+func (e *Engine) availableWindowBytes() int64 {
+	fp := modelcfg.Footprint(e.method(), e.Model.Cfg, 0, 1)
+	nonWindow := fp.GPU // window term is ~1 layer at windowLayers=0
+	return e.Model.Plat.GPU.MemBytes - nonWindow
+}
+
+// Run simulates iters training iterations and returns the steady-state
+// result (the duration of the final iteration). When tr is non-nil the
+// final iteration's spans are recorded into it.
+func (e *Engine) Run(iters int, tr *trace.Trace) perf.IterationResult {
+	res := perf.IterationResult{Method: e.method()}
+	cfg := e.Model.Cfg
+	if err := cfg.Validate(); err != nil {
+		res.OOM, res.OOMDetail = true, err.Error()
+		return res
+	}
+	window := e.Window
+	if window == 0 {
+		d, err := e.SolvedWindow()
+		if err != nil {
+			res.OOM, res.OOMDetail = true, err.Error()
+			return res
+		}
+		window = d.M
+	}
+	streams := e.PickStreams(window)
+
+	// Capacity check before simulating.
+	fp := modelcfg.Footprint(e.method(), cfg, window, streams)
+	plat := e.Model.Plat
+	if !fp.Fits(plat.GPU.MemBytes, plat.CPU.UsableMemBytes, plat.NVMe.Bytes) {
+		res.OOM = true
+		res.OOMDetail = fmt.Sprintf("footprint gpu=%d host=%d disk=%d exceeds capacity", fp.GPU, fp.Host, fp.Disk)
+		return res
+	}
+	res.GPUPeak = fp.GPU
+
+	if e.LayerScale != nil && len(e.LayerScale) != cfg.Layers {
+		res.OOM = true
+		res.OOMDetail = fmt.Sprintf("LayerScale has %d entries for %d layers", len(e.LayerScale), cfg.Layers)
+		return res
+	}
+	eng := sim.NewEngine()
+	machine, err := hw.NewMachine(eng, plat, min(fp.Host, plat.CPU.UsableMemBytes-1))
+	if err != nil {
+		res.OOM, res.OOMDetail = true, err.Error()
+		return res
+	}
+	if e.TransferJitter > 0 {
+		machine.H2D.SetJitter(1, e.TransferJitter)
+		machine.D2H.SetJitter(2, e.TransferJitter)
+	}
+	// Schedule every iteration up front: cross-iteration dependencies
+	// are expressed through signals, so the CPU-optimizer tail of one
+	// iteration overlaps the next iteration's forward pass exactly as
+	// in the real runtime.
+	run := newIterRun(e, machine, window, streams)
+	ends := make([]*sim.Signal, iters)
+	for it := 0; it < iters; it++ {
+		var itTrace *trace.Trace
+		if it == iters-1 && tr != nil {
+			itTrace = tr
+		}
+		ends[it] = run.iteration(itTrace)
+	}
+	eng.Run()
+	var lastStart sim.Time
+	if iters > 1 {
+		lastStart = ends[iters-2].FiredAt()
+	}
+	res.IterTime = ends[iters-1].FiredAt() - lastStart
+	res.AllocOps = machine.GPUMem.AllocOps()
+	res.CacheFlushes = run.cacheFlushes
+	if run.cache != nil {
+		res.CacheOps = run.cache.Hits() + run.cache.Misses()
+	}
+	if tr != nil {
+		res.Overlap = tr.OverlapFraction(
+			[]trace.Kind{trace.KindCompute},
+			[]trace.Kind{trace.KindH2D, trace.KindD2H, trace.KindNVMe})
+	}
+	return res
+}
+
+// iterRun holds the cross-iteration simulation state of one engine.
+type iterRun struct {
+	e       *Engine
+	machine *hw.Machine
+	window  int
+	streams []*hw.Stream
+	lt      perf.LayerTimes
+	util    float64 // per-worker kernel utilization
+	n       int
+
+	// optDone[i] is the signal that layer i's parameters are updated
+	// and ready for the next iteration's prefetch.
+	optDone []*sim.Signal
+	// nvmeStaged[i]: layer i's weights present in the host staging ring.
+	nvmeStaged []*sim.Signal
+	// singleOpt serializes updates when concurrent optimizers are off
+	// (one optimizer instance, as in conventional training and
+	// ZeRO-Offload).
+	singleOpt *sim.Resource
+	iter      int
+
+	// Buffer management (§III-E3): the user-level round-robin pool
+	// (one-off (m+1)·k raw allocations) or the framework caching
+	// allocator (per-visit Get/Put traffic). layerBuf maps a layer to
+	// its pool buffers while resident; layerCache to its cached blocks.
+	pool         *mem.RoundRobinPool
+	cache        *mem.CachingAllocator
+	layerBuf     map[int][]int
+	layerCache   map[int][]*mem.Block
+	cacheFlushes uint64
+}
+
+func newIterRun(e *Engine, machine *hw.Machine, window, streams int) *iterRun {
+	cfg := e.Model.Cfg
+	perStream := e.Model
+	perStream.Cfg.BatchSize = cfg.BatchSize / streams
+	util := perStream.EffectiveUtilization()
+	// Concurrent streams contend for the SM scheduler and memory
+	// ports: their aggregate utilization saturates at MultiStreamCap.
+	if agg := float64(streams) * util; streams > 1 && agg > modelcfg.MultiStreamCap {
+		util = modelcfg.MultiStreamCap / float64(streams)
+	}
+	r := &iterRun{
+		e:       e,
+		machine: machine,
+		window:  window,
+		lt:      perStream.Layer(),
+		util:    util,
+		n:       cfg.Layers,
+	}
+	for s := 0; s < streams; s++ {
+		r.streams = append(r.streams, machine.NewStream(fmt.Sprintf("worker%d", s)))
+	}
+	if !e.Feat.ConcurrentOptimizers {
+		r.singleOpt = sim.NewResource(machine.Eng, "cpu-opt-single")
+	}
+	// Window buffer management against the real device arena.
+	maxScale := 1.0
+	for _, sc := range e.LayerScale {
+		if sc > maxScale {
+			maxScale = sc
+		}
+	}
+	perTensor := int64(float64(cfg.LayerWeightBytes()+cfg.LayerGradBytes()+cfg.ActivationBytesPerLayer())*maxScale)/tensorsPerLayer + 1
+	if e.Feat.UserLevelMemMgmt {
+		pool, err := mem.NewRoundRobinPool(machine.GPUMem, perTensor, (window+1)*tensorsPerLayer)
+		if err == nil {
+			r.pool = pool
+			r.layerBuf = make(map[int][]int)
+		}
+		// A nil pool (arena contention in exotic configs) degrades to
+		// un-instrumented buffers; the Footprint check remains the
+		// capacity authority.
+	} else {
+		r.cache = mem.NewCachingAllocator(machine.GPUMem)
+		r.layerCache = make(map[int][]*mem.Block)
+	}
+	r.optDone = make([]*sim.Signal, r.n)
+	r.nvmeStaged = make([]*sim.Signal, r.n)
+	for i := range r.optDone {
+		r.optDone[i] = sim.FiredSignal(machine.Eng)
+		r.nvmeStaged[i] = sim.FiredSignal(machine.Eng)
+	}
+	// The first window's layers are resident before training starts
+	// (§III-E1), holding their buffers.
+	for i := 0; i < window && i < r.n; i++ {
+		r.acquireLayer(i)
+	}
+	return r
+}
+
+// transfer parameters honoring the §III-E3 feature: pinned+async when
+// on; pageable with allocation overhead when off.
+func (r *iterRun) prefetch(deps []*sim.Signal, tr *trace.Trace, name string, layer int) *sim.Signal {
+	return r.copyOp(deps, tr, name, layer, true, r.scaleBytes(layer, r.e.Model.Cfg.LayerWeightBytes()))
+}
+
+func (r *iterRun) offload(deps []*sim.Signal, tr *trace.Trace, name string, layer int, bytes int64) *sim.Signal {
+	return r.copyOp(deps, tr, name, layer, false, bytes)
+}
+
+// acquireLayer claims device buffers for a layer entering the window.
+// In user-level mode exhaustion is a scheduling-invariant violation
+// (the buffer-recycling dependencies exist precisely to prevent it);
+// in caching mode an exhausted arena triggers a cache flush — the
+// §III-E3 thrash — before retrying.
+func (r *iterRun) acquireLayer(layer int) {
+	switch {
+	case r.pool != nil:
+		idxs := make([]int, 0, tensorsPerLayer)
+		for t := 0; t < tensorsPerLayer; t++ {
+			idx, err := r.pool.Acquire()
+			if err != nil {
+				panic(fmt.Sprintf("core: window buffer invariant violated at layer %d: %v", layer, err))
+			}
+			idxs = append(idxs, idx)
+		}
+		r.layerBuf[layer] = idxs
+	case r.cache != nil:
+		perTensor := (r.e.Model.Cfg.LayerWeightBytes()+r.e.Model.Cfg.LayerGradBytes()+r.e.Model.Cfg.ActivationBytesPerLayer())/tensorsPerLayer + 1
+		var blocks []*mem.Block
+		for t := 0; t < tensorsPerLayer; t++ {
+			b, err := r.cache.Get(perTensor)
+			if err != nil {
+				r.cache.ReleaseAll()
+				r.cacheFlushes++
+				if b, err = r.cache.Get(perTensor); err != nil {
+					continue // live set exceeds arena; count and move on
+				}
+			}
+			blocks = append(blocks, b)
+		}
+		r.layerCache[layer] = blocks
+	}
+}
+
+// releaseLayer returns a layer's buffers as it leaves the window.
+func (r *iterRun) releaseLayer(layer int) {
+	switch {
+	case r.pool != nil:
+		for _, idx := range r.layerBuf[layer] {
+			r.pool.Release(idx)
+		}
+		delete(r.layerBuf, layer)
+	case r.cache != nil:
+		for _, b := range r.layerCache[layer] {
+			r.cache.Put(b)
+		}
+		delete(r.layerCache, layer)
+	}
+}
+
+func (r *iterRun) copyOp(deps []*sim.Signal, tr *trace.Trace, name string, layer int, h2d bool, bytes int64) *sim.Signal {
+	pinned := r.e.Feat.UserLevelMemMgmt
+	extra := sim.Time(0)
+	if !pinned {
+		// Caching-allocator path: per-tensor allocation operations with
+		// implicit synchronization (§III-E3).
+		extra = sim.Time(tensorsPerLayer) * sim.Time(r.e.Model.Plat.AllocOpNS)
+	}
+	var sig *sim.Signal
+	done := func(start, end sim.Time) {
+		if tr != nil {
+			kind := trace.KindD2H
+			track := "pcie-d2h"
+			if h2d {
+				kind, track = trace.KindH2D, "pcie-h2d"
+			}
+			tr.Add(trace.Span{Track: track, Name: name, Kind: kind, Layer: layer, Start: start, End: end})
+		}
+	}
+	eng := r.machine.Eng
+	res := r.machine.D2H
+	if h2d {
+		res = r.machine.H2D
+	}
+	dur := r.machine.Spec.AsyncCallNS + extra + r.copyDur(bytes, pinned)
+	sig = sim.NewSignal(eng)
+	sim.WaitAll(eng, deps, func() {
+		if h2d {
+			r.acquireLayer(layer) // buffer claimed at prefetch issue
+		}
+		res.Submit(dur, func(start, end sim.Time) {
+			if !h2d {
+				r.releaseLayer(layer) // buffer recycled at offload end
+			}
+			done(start, end)
+			sig.Fire()
+		})
+	})
+	return sig
+}
+
+func (r *iterRun) copyDur(bytes int64, pinned bool) sim.Time {
+	bw := r.machine.Spec.PCIe.BandwidthPerDir
+	if !pinned {
+		bw *= r.machine.Spec.PCIe.UnpinnedFactor
+	}
+	return r.machine.Spec.PCIe.LatencyNS + sim.Time(float64(bytes)/bw*1e9)
+}
+
+// cpuOptDuration is one layer's CPU Adam time for the configured pool.
+func (r *iterRun) cpuOptDuration() sim.Time {
+	spec := r.machine.Spec.CPU
+	workers := r.e.optWorkers()
+	perWorkerBW := spec.MemBandwidth / float64(workers)
+	if perCore := perWorkerCap(spec); perWorkerBW > perCore {
+		perWorkerBW = perCore
+	}
+	const bytesPerParam = 28
+	return sim.Time(float64(r.e.Model.Cfg.LayerParamsShard()*bytesPerParam) / perWorkerBW * 1e9)
+}
+
+// perWorkerCap is the DRAM bandwidth a single optimizer thread can
+// drive: roughly 1/32 of socket bandwidth (~3 GB/s on the V100 host),
+// matching measured single-threaded CPU Adam throughput — this is why a
+// lone CPU optimizer becomes the bottleneck §III-E1 removes.
+func perWorkerCap(spec hw.CPUSpec) float64 {
+	return spec.MemBandwidth / 32
+}
+
+// actCheckpointBytes is the per-layer boundary activation that travels
+// with the layer state: checkpoints are offloaded behind the forward
+// window and restored ahead of the backward window, so arbitrarily deep
+// models never accumulate checkpoints in device memory.
+func (r *iterRun) actCheckpointBytes() int64 {
+	return r.e.Model.Cfg.ActivationBytesPerLayer()
+}
+
+// layerScale returns layer i's heterogeneity multiplier (1 for uniform
+// models).
+func (r *iterRun) layerScale(i int) float64 {
+	if r.e.LayerScale == nil || i < 0 || i >= len(r.e.LayerScale) {
+		return 1
+	}
+	return r.e.LayerScale[i]
+}
+
+// maxLayerScale is the conservative buffer-sizing factor.
+func (r *iterRun) maxLayerScale() float64 {
+	m := 1.0
+	for _, s := range r.e.LayerScale {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// scaleBytes applies layer i's multiplier to a transfer size.
+func (r *iterRun) scaleBytes(i int, bytes int64) int64 {
+	return int64(float64(bytes) * r.layerScale(i))
+}
+
+// iteration schedules one full training iteration and returns the
+// signal marking its completion (all GPU work done).
+func (r *iterRun) iteration(tr *trace.Trace) *sim.Signal {
+	r.iter++
+	n, m := r.n, r.window
+	eng := r.machine.Eng
+	k := len(r.streams)
+	cfg := r.e.Model.Cfg
+	sync := !r.e.Feat.UserLevelMemMgmt // pageable path serializes with compute
+
+	kernel := func(s *hw.Stream, flops float64, deps []*sim.Signal, name string, layer int, kind trace.Kind) *sim.Signal {
+		return s.Launch(flops, r.util, deps, func(start, end sim.Time) {
+			if tr != nil {
+				tr.Add(trace.Span{Track: s.Name(), Name: name, Kind: kind, Layer: layer, Start: start, End: end})
+			}
+		})
+	}
+
+	fwdFlops := r.perStreamForwardFlops()
+	bwdFlops := r.perStreamBackwardFlops()
+	embedFlops := r.perStreamEmbedFlops()
+
+	// ---- Forward pass -------------------------------------------------
+	// Window invariant: at FP start the window holds layers 0..m−1
+	// (left there by the previous BP, §III-E1) plus one spare buffer
+	// (constraint 1c). FP offloads every layer except the last m, so at
+	// FP end the window holds layers n−m..n−1 ready for BP.
+	embedDone := make([]*sim.Signal, k)
+	for s := range r.streams {
+		embedDone[s] = kernel(r.streams[s], embedFlops, nil, "fp embed", -1, trace.KindCompute)
+	}
+
+	prefetchDone := make([]*sim.Signal, n)
+	fpOffloadDone := make([]*sim.Signal, n)
+	fpDone := make([]*sim.Signal, n) // all streams finished fp(i)
+	for i := 0; i < m && i < n; i++ {
+		prefetchDone[i] = sim.FiredSignal(eng) // resident from last BP
+	}
+
+	for i := 0; i < n; i++ {
+		// pre_forward(i): issue the asynchronous load of the layer just
+		// outside the window (Fig. 3b ①).
+		if j := i + m; j < n {
+			deps := []*sim.Signal{r.optDone[j]}
+			if r.e.Feat.UseNVMe {
+				deps = append(deps, r.nvmeStaged[j])
+			}
+			// Buffer recycling (§III-E3): prefetch j reuses the buffer
+			// freed by layer j−m−1's post-forward offload; the first
+			// prefetch takes the spare buffer.
+			if j > m {
+				deps = append(deps, fpOffloadDone[j-m-1])
+			}
+			prefetchDone[j] = r.prefetch(deps, tr, fmt.Sprintf("prefetch L%d", j), j)
+		}
+		var streamDone []*sim.Signal
+		for s := range r.streams {
+			deps := []*sim.Signal{prefetchDone[i]}
+			if i == 0 {
+				deps = append(deps, embedDone[s])
+			}
+			if sync && i > 0 && fpOffloadDone[i-1] != nil {
+				deps = append(deps, fpOffloadDone[i-1]) // allocator sync
+			}
+			streamDone = append(streamDone, kernel(r.streams[s], fwdFlops*r.layerScale(i), deps, fmt.Sprintf("fp L%d", i), i, trace.KindCompute))
+		}
+		allDone := joinSignals(eng, streamDone)
+		fpDone[i] = allDone
+		if i < n-m {
+			// post_forward(i): move the computed layer's parameters
+			// (and its activation checkpoint) back to the CPU
+			// (Fig. 3b ③); the last m layers stay.
+			fpOffloadDone[i] = r.offload([]*sim.Signal{allDone}, tr,
+				fmt.Sprintf("fp offload L%d", i), i,
+				r.scaleBytes(i, cfg.LayerWeightBytes()+r.actCheckpointBytes()))
+		}
+	}
+
+	// Head + loss on the resident tail.
+	headDone := make([]*sim.Signal, k)
+	for s := range r.streams {
+		headDone[s] = kernel(r.streams[s], embedFlops, []*sim.Signal{fpDone[n-1]}, "fp head+loss", -1, trace.KindCompute)
+	}
+
+	// ---- Backward pass ------------------------------------------------
+	// Window invariant: BP starts with layers n−m..n−1 resident,
+	// prefetches every layer below n−m, and offloads every layer except
+	// the first m — restoring the FP-start invariant.
+	bpPrefetchDone := make([]*sim.Signal, n)
+	bpOffloadDone := make([]*sim.Signal, n)
+	bpDone := make([]*sim.Signal, n)
+	for i := n - m; i < n; i++ {
+		if i >= 0 {
+			bpPrefetchDone[i] = sim.FiredSignal(eng)
+		}
+	}
+
+	// Gradient all-reduce across multi-stream workers happens on-GPU
+	// over HBM before each layer's gradient offload (§IV-A).
+	gradSyncFlops := 0.0
+	if k > 1 {
+		bytes := float64(cfg.LayerGradBytes()) * 2 * float64(k-1) / float64(k)
+		gradSyncFlops = bytes / r.machine.Spec.GPU.MemBandwidth * r.util * r.machine.Spec.GPU.PeakFlops
+	}
+
+	for i := n - 1; i >= 0; i-- {
+		// pre_backward(i): fetch the layer just outside the window in
+		// the BP direction (Fig. 3c ①).
+		if j := i - m; j >= 0 {
+			// The checkpoint being restored was produced by this
+			// iteration's FP offload of the same layer.
+			deps := []*sim.Signal{fpOffloadDone[j]}
+			if r.e.Feat.UseNVMe {
+				deps = append(deps, r.nvmeStaged[j])
+			}
+			// Buffer freed by the BP offload of layer j+m+1 (issued at
+			// step i+1); the first BP prefetch takes the spare buffer
+			// released by the final FP offload.
+			if j+m+1 <= n-1 {
+				deps = append(deps, bpOffloadDone[j+m+1])
+			}
+			// The BP prefetch restores weights plus the activation
+			// checkpoint needed for recomputation.
+			bpPrefetchDone[j] = r.copyOp(deps, tr, fmt.Sprintf("bp prefetch L%d", j), j, true,
+				r.scaleBytes(j, cfg.LayerWeightBytes()+r.actCheckpointBytes()))
+		}
+		var streamDone []*sim.Signal
+		for s := range r.streams {
+			deps := []*sim.Signal{bpPrefetchDone[i]}
+			if i == n-1 {
+				deps = append(deps, headDone[s])
+			}
+			if sync && i < n-1 && bpOffloadDone[i+1] != nil {
+				deps = append(deps, bpOffloadDone[i+1])
+			}
+			if r.singleOpt != nil && i+1 < n && i+1 >= m {
+				// Without the concurrent optimizer pool, each layer's
+				// update runs synchronously between BP steps (the
+				// conventional ZeRO-Offload-style ordering §III-E1
+				// replaces).
+				deps = append(deps, r.optDone[i+1])
+			}
+			streamDone = append(streamDone, kernel(r.streams[s], bwdFlops*r.layerScale(i), deps, fmt.Sprintf("bp L%d", i), i, trace.KindCompute))
+		}
+		allDone := joinSignals(eng, streamDone)
+		if gradSyncFlops > 0 {
+			allDone = kernel(r.streams[0], gradSyncFlops, []*sim.Signal{allDone}, fmt.Sprintf("grad allreduce L%d", i), i, trace.KindCompute)
+		}
+		bpDone[i] = allDone
+
+		if i >= m {
+			// pre_backward ②③: offload weights+grads, then the CPU
+			// optimizer updates the layer.
+			off := r.offload([]*sim.Signal{allDone}, tr,
+				fmt.Sprintf("bp offload L%d", i), i,
+				r.scaleBytes(i, cfg.LayerWeightBytes()+cfg.LayerGradBytes()))
+			bpOffloadDone[i] = off
+			optSig := sim.NewSignal(eng)
+			layer := i
+			dur := sim.Time(float64(r.cpuOptDuration()) * r.layerScale(i))
+			record := func(start, end sim.Time) {
+				if tr != nil {
+					tr.Add(trace.Span{Track: "cpu-opt", Name: fmt.Sprintf("adam L%d", layer), Kind: trace.KindOptimize, Layer: layer, Start: start, End: end})
+				}
+				optSig.Fire()
+			}
+			sim.WaitAll(eng, []*sim.Signal{off}, func() {
+				if r.singleOpt != nil {
+					r.singleOpt.Submit(dur, record)
+				} else {
+					r.machine.CPUPool.Submit(dur, record)
+				}
+			})
+			r.optDone[i] = optSig
+			if r.e.Feat.UseNVMe {
+				// Spill updated state to disk, then restage for the
+				// next iteration's prefetch with pipeline lookahead.
+				wr := r.machine.NVMeWrite(cfg.LayerWeightBytes(), []*sim.Signal{optSig})
+				r.nvmeStaged[i] = r.machine.NVMeRead(cfg.LayerWeightBytes(), []*sim.Signal{wr})
+			}
+		} else {
+			// Resident head-of-model layers update on the GPU.
+			r.optDone[i] = sim.FiredSignal(eng)
+		}
+	}
+
+	// GPU-side updates: resident window layers + embedding/head.
+	residentOptFlops := float64(m)*r.gpuOptFlops() + r.gpuEmbedOptFlops()
+	var tailDeps []*sim.Signal
+	tailDeps = append(tailDeps, bpDone[0])
+	gpuOpt := kernel(r.streams[0], residentOptFlops, tailDeps, "gpu adam resident", -1, trace.KindOptimize)
+
+	// Iteration completes when every stream's queue drains and the
+	// resident update lands.
+	var endDeps []*sim.Signal
+	endDeps = append(endDeps, gpuOpt)
+	for _, s := range r.streams {
+		endDeps = append(endDeps, s.Barrier())
+	}
+	return joinSignals(eng, endDeps)
+}
+
+// perStreamForwardFlops returns one layer's FP FLOPs for one stream's
+// micro-batch.
+func (r *iterRun) perStreamForwardFlops() float64 {
+	cfg := r.e.Model.Cfg
+	cfg.BatchSize = cfg.BatchSize / len(r.streams)
+	return cfg.ForwardFlopsPerLayer()
+}
+
+func (r *iterRun) perStreamBackwardFlops() float64 {
+	cfg := r.e.Model.Cfg
+	cfg.BatchSize = cfg.BatchSize / len(r.streams)
+	return cfg.BackwardFlopsPerLayer(r.e.Model.Checkpointing)
+}
+
+func (r *iterRun) perStreamEmbedFlops() float64 {
+	cfg := r.e.Model.Cfg
+	cfg.BatchSize = cfg.BatchSize / len(r.streams)
+	return cfg.EmbeddingFlops()
+}
+
+// gpuOptFlops converts the HBM-bound resident-layer update into
+// equivalent kernel work at the current utilization.
+func (r *iterRun) gpuOptFlops() float64 {
+	const bytesPerParam = 28
+	bytes := float64(r.e.Model.Cfg.LayerParamsShard() * bytesPerParam)
+	sec := bytes / r.machine.Spec.GPU.MemBandwidth
+	return sec * r.util * r.machine.Spec.GPU.PeakFlops
+}
+
+func (r *iterRun) gpuEmbedOptFlops() float64 {
+	const bytesPerParam = 28
+	bytes := float64(r.e.Model.Cfg.EmbeddingParams() / int64(r.e.Model.Cfg.ModelParallel) * bytesPerParam)
+	sec := bytes / r.machine.Spec.GPU.MemBandwidth
+	return sec * r.util * r.machine.Spec.GPU.PeakFlops
+}
+
+// joinSignals returns a signal firing when all inputs fire.
+func joinSignals(eng *sim.Engine, sigs []*sim.Signal) *sim.Signal {
+	if len(sigs) == 1 {
+		return sigs[0]
+	}
+	out := sim.NewSignal(eng)
+	sim.WaitAll(eng, sigs, out.Fire)
+	return out
+}

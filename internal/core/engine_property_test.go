@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stronghold/internal/hw"
+	"stronghold/internal/modelcfg"
+	"stronghold/internal/perf"
+)
+
+// Property: iteration time grows monotonically with layer count (same
+// width, same features).
+func TestPropertyEngineMonotoneInDepth(t *testing.T) {
+	f := func(raw uint8) bool {
+		layers := int(raw%40) + 10
+		mk := func(n int) *Engine {
+			cfg := modelcfg.NewConfig(n, 2560, 16)
+			e := NewEngine(perf.NewModel(cfg, hw.V100Platform()))
+			e.Feat.Streams = 1
+			e.Window = 2
+			return e
+		}
+		small := mk(layers).Run(2, nil)
+		large := mk(layers+5).Run(2, nil)
+		if small.OOM || large.OOM {
+			return true // capacity-bound cases are covered elsewhere
+		}
+		return large.IterTime > small.IterTime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GPU peak grows with window size while iteration time never
+// grows by more than the async bookkeeping (the Fig. 9 trade-off).
+func TestPropertyEngineWindowTradeoff(t *testing.T) {
+	f := func(raw uint8) bool {
+		w := int(raw%10) + 1
+		mk := func(win int) perf.IterationResult {
+			e := engineFor(modelcfg.Config1p7B())
+			e.Window = win
+			e.Feat.Streams = 1
+			return e.Run(2, nil)
+		}
+		a, b := mk(w), mk(w+2)
+		if a.OOM || b.OOM {
+			return true
+		}
+		if b.GPUPeak <= a.GPUPeak {
+			return false
+		}
+		// Larger windows may only be marginally slower (bookkeeping),
+		// never catastrophically.
+		return float64(b.IterTime) < 1.05*float64(a.IterTime)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: whenever the footprint model says a configuration fits,
+// the engine completes without OOM, and vice versa (the two capacity
+// authorities agree).
+func TestPropertyFootprintEngineAgree(t *testing.T) {
+	f := func(raw uint8) bool {
+		layers := int(raw)*6 + 20 // 20..1550
+		cfg := modelcfg.NewConfig(layers, 2560, 16)
+		e := NewEngine(perf.NewModel(cfg, hw.V100Platform()))
+		e.Window = 4
+		e.Feat.Streams = 1
+		r := e.Run(1, nil)
+		plat := hw.V100Platform()
+		fits := modelcfg.Footprint(modelcfg.Stronghold, cfg, 4, 1).
+			Fits(plat.GPU.MemBytes, plat.CPU.UsableMemBytes, plat.NVMe.Bytes)
+		return fits != r.OOM
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: multi-stream never hurts throughput (the cap guarantees
+// aggregate utilization ≥ single stream) on configurations where it
+// engages.
+func TestPropertyMultiStreamNeverHurts(t *testing.T) {
+	f := func(raw uint8) bool {
+		bs := []int{2, 4, 8}[raw%3]
+		cfg := modelcfg.Config1p7B()
+		cfg.BatchSize = bs
+		single := NewEngine(perf.NewModel(cfg, hw.V100Platform()))
+		single.Feat.Streams = 1
+		auto := NewEngine(perf.NewModel(cfg, hw.V100Platform()))
+		rs, ra := single.Run(2, nil), auto.Run(2, nil)
+		if rs.OOM || ra.OOM {
+			return true
+		}
+		return ra.IterTime <= rs.IterTime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 9}); err != nil {
+		t.Fatal(err)
+	}
+}

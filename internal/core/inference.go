@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"stronghold/internal/modelcfg"
+	"stronghold/internal/nn"
+	"stronghold/internal/perf"
+	"stronghold/internal/sim"
+	"stronghold/internal/tensor"
+)
+
+// ForwardWithWindow runs a forward-only pass over the model's blocks
+// with a working window, returning the input token logits *and* every
+// intermediate block activation — the "layer-wised activations" a
+// teacher model provides for knowledge distillation (§VI-D3; this is
+// what TensorRT-style inference engines cannot do). Only `window`
+// blocks are resident at a time, so the teacher can be far larger than
+// device memory.
+func ForwardWithWindow(model *nn.GPT, ids *tensor.Tensor, window int) (logits *tensor.Tensor, activations []*tensor.Tensor, err error) {
+	n := model.Blocks.Len()
+	if window < 1 || window > n {
+		return nil, nil, fmt.Errorf("core: window %d outside [1, %d]", window, n)
+	}
+	resident := 0
+	maxResident := 0
+	x := model.Embed.Forward(ids)
+	for i, l := range model.Blocks.Layers() {
+		resident++
+		if resident > maxResident {
+			maxResident = resident
+		}
+		x = l.Forward(x)
+		activations = append(activations, x)
+		if i >= window-1 {
+			resident-- // evict the layer leaving the window
+		}
+	}
+	if maxResident > window {
+		return nil, nil, fmt.Errorf("core: residency %d exceeded window %d", maxResident, window)
+	}
+	h := model.FinalNorm.Forward(x)
+	return model.Head.Forward(h), activations, nil
+}
+
+// InferenceEngine simulates forward-only serving of a paper-scale model
+// (Figure 13): iteration time and the largest servable model.
+type InferenceEngine struct {
+	Model  perf.Model
+	Window int // 0 = one-layer lookahead window of 2
+}
+
+// Run simulates one forward pass and returns its duration; OOM when
+// even the inference window cannot fit.
+func (e *InferenceEngine) Run() perf.IterationResult {
+	res := perf.IterationResult{Method: modelcfg.Stronghold}
+	cfg := e.Model.Cfg
+	window := e.Window
+	if window == 0 {
+		window = 2
+	}
+	// Forward-only memory: window weights + one prefetch buffer +
+	// resident embedding/head weights + the live activation of the
+	// current layer (no checkpoints kept, nothing for BP).
+	gpu := int64(window+1)*cfg.LayerWeightBytes() +
+		cfg.EmbeddingParams()/int64(cfg.ModelParallel)*modelcfg.BytesParam +
+		cfg.ActivationBytesPerLayer() + cfg.WorkingActivationBytes() +
+		int64(1)<<30
+	host := cfg.TotalParams() / int64(cfg.ModelParallel) * modelcfg.BytesParam
+	if gpu > e.Model.Plat.GPU.MemBytes {
+		res.OOM = true
+		res.OOMDetail = fmt.Sprintf("inference window needs %d GPU bytes", gpu)
+		return res
+	}
+	if host > e.Model.Plat.CPU.UsableMemBytes {
+		res.OOM = true
+		res.OOMDetail = fmt.Sprintf("weights need %d host bytes", host)
+		return res
+	}
+	res.GPUPeak = gpu
+	// Pipeline: per layer, max(prefetch, compute) once the window
+	// covers the transfer; embedding+head at the ends.
+	lt := e.Model.Layer()
+	perLayer := lt.FP
+	if cover := sim.Time(window) * lt.FP; cover < lt.C2G {
+		// Transfer-bound: the PCIe link paces the pipeline.
+		perLayer = lt.C2G / sim.Time(window)
+		if perLayer < lt.FP {
+			perLayer = lt.FP
+		}
+	}
+	res.IterTime = sim.Time(cfg.Layers)*perLayer + 2*e.Model.EmbeddingTime() + lt.C2G
+	return res
+}
+
+// PyTorchInference models the resident-inference baseline of Figure 13:
+// all weights must fit on the GPU.
+func PyTorchInference(m perf.Model) perf.IterationResult {
+	res := perf.IterationResult{Method: modelcfg.Megatron}
+	cfg := m.Cfg
+	gpu := cfg.TotalParams()/int64(cfg.ModelParallel)*modelcfg.BytesParam +
+		cfg.ActivationBytesPerLayer() + cfg.WorkingActivationBytes() + int64(1)<<30
+	if gpu > m.Plat.GPU.MemBytes {
+		res.OOM = true
+		res.OOMDetail = "model weights exceed device memory"
+		return res
+	}
+	res.GPUPeak = gpu
+	res.IterTime = sim.Time(cfg.Layers)*m.Layer().FP + 2*m.EmbeddingTime()
+	return res
+}

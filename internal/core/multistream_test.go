@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"stronghold/internal/data"
+	"stronghold/internal/hw"
+	"stronghold/internal/modelcfg"
+	"stronghold/internal/nn"
+	"stronghold/internal/optim"
+	"stronghold/internal/perf"
+)
+
+func msConfig() nn.GPTConfig {
+	return nn.GPTConfig{Vocab: 29, MaxSeq: 16, Hidden: 16, Heads: 2, Layers: 3, Seed: 11}
+}
+
+func TestMultiStreamMatchesSingleWorker(t *testing.T) {
+	// Data-parallel micro-batching must compute the same batch gradient
+	// as full-batch training (up to float reduction order).
+	single, err := NewMultiStreamTrainer(msConfig(), optim.DefaultAdamConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := NewMultiStreamTrainer(msConfig(), optim.DefaultAdamConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, _ := data.NewLoader(29, 4, 8, 3)
+	lm, _ := data.NewLoader(29, 4, 8, 3)
+	for i := 0; i < 3; i++ {
+		lossS, err := single.Step(ls.Next())
+		if err != nil {
+			t.Fatal(err)
+		}
+		lossM, err := multi.Step(lm.Next())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(lossS-lossM) > 1e-5 {
+			t.Fatalf("iter %d: single loss %v vs multi %v", i, lossS, lossM)
+		}
+	}
+	ps, pm := single.Model().Parameters(), multi.Model().Parameters()
+	for i := range ps {
+		if !ps[i].Value.AllClose(pm[i].Value, 1e-4, 1e-5) {
+			t.Fatalf("parameter %s diverged between 1 and 2 workers", ps[i].Name)
+		}
+	}
+}
+
+func TestMultiStreamReplicasStayInSync(t *testing.T) {
+	// The single-parameter-copy invariant (§IV-A): after any number of
+	// steps, all workers hold bit-identical parameters.
+	tr, err := NewMultiStreamTrainer(msConfig(), optim.DefaultAdamConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := data.NewLoader(29, 4, 8, 5)
+	for i := 0; i < 4; i++ {
+		if _, err := tr.Step(l.Next()); err != nil {
+			t.Fatal(err)
+		}
+		if !tr.InSync() {
+			t.Fatalf("replicas diverged after step %d", i)
+		}
+	}
+	if tr.Workers() != 4 {
+		t.Fatal("worker count")
+	}
+}
+
+func TestMultiStreamBatchDivisibility(t *testing.T) {
+	tr, err := NewMultiStreamTrainer(msConfig(), optim.DefaultAdamConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := data.NewLoader(29, 4, 8, 5) // 4 % 3 != 0
+	if _, err := tr.Step(l.Next()); err == nil {
+		t.Fatal("indivisible batch must error")
+	}
+	if _, err := NewMultiStreamTrainer(msConfig(), optim.DefaultAdamConfig(), 0); err == nil {
+		t.Fatal("zero workers must be rejected")
+	}
+}
+
+func TestForwardWithWindowMatchesPlainForward(t *testing.T) {
+	g, err := nn.NewGPT(msConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := data.NewLoader(29, 2, 8, 9)
+	b := l.Next()
+	want := g.Forward(b.Inputs)
+	got, acts, err := ForwardWithWindow(g, b.Inputs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Fatal("windowed forward changed logits")
+	}
+	if len(acts) != 3 {
+		t.Fatalf("want one activation per block, got %d", len(acts))
+	}
+	for i, a := range acts {
+		if a.Dim(0) != 2 || a.Dim(2) != 16 {
+			t.Fatalf("activation %d has shape %v", i, a.Shape())
+		}
+	}
+}
+
+func TestForwardWithWindowValidation(t *testing.T) {
+	g, _ := nn.NewGPT(msConfig())
+	l, _ := data.NewLoader(29, 1, 4, 9)
+	b := l.Next()
+	if _, _, err := ForwardWithWindow(g, b.Inputs, 0); err == nil {
+		t.Fatal("window 0 must be rejected")
+	}
+	if _, _, err := ForwardWithWindow(g, b.Inputs, 99); err == nil {
+		t.Fatal("window > layers must be rejected")
+	}
+}
+
+func TestInferenceEngineScalesBeyondResident(t *testing.T) {
+	// Figure 13: PyTorch OOMs on big models; the windowed engine keeps
+	// serving with time linear in model size.
+	plat := hw.V100Platform()
+	big := perf.NewModel(modelcfg.ConfigForSize(20, 2560, 1), plat)
+	if r := PyTorchInference(big); !r.OOM {
+		t.Fatal("20B resident inference must OOM on 32GB")
+	}
+	e := InferenceEngine{Model: big}
+	r := e.Run()
+	if r.OOM {
+		t.Fatalf("windowed inference must serve 20B: %s", r.OOMDetail)
+	}
+
+	small := perf.NewModel(modelcfg.Config1p7B(), plat)
+	rSmall := (&InferenceEngine{Model: small}).Run()
+	rPT := PyTorchInference(small)
+	if rPT.OOM {
+		t.Fatal("1.7B resident inference must fit")
+	}
+	// Windowed inference is close to resident speed on small models
+	// ("similar performance for small DNN inference compared to
+	// PyTorch").
+	ratio := float64(rSmall.IterTime) / float64(rPT.IterTime)
+	if ratio > 1.3 {
+		t.Fatalf("windowed inference %vx slower than resident", ratio)
+	}
+	// Linear scaling: 20B ≈ 11.7x the 1.7B layer count.
+	scale := float64(r.IterTime) / float64(rSmall.IterTime)
+	if scale < 8 || scale > 16 {
+		t.Fatalf("inference time scale %v, want ~11.7x for 11.7x layers", scale)
+	}
+}
+
+func TestInferenceEngineHostBound(t *testing.T) {
+	huge := perf.NewModel(modelcfg.ConfigForSize(200, 2560, 1), hw.V100Platform())
+	r := (&InferenceEngine{Model: huge}).Run()
+	if !r.OOM {
+		t.Fatal("200B weights exceed host memory even forward-only")
+	}
+}

@@ -1,0 +1,240 @@
+// Package core implements the STRONGHOLD runtime: the analytical
+// working-window solver (§III-D), the discrete-event offloading engine
+// that reproduces the paper's performance experiments, the functional
+// (real-tensor) offload runtime proving semantic equivalence, the
+// concurrent CPU optimizer pool (§III-E1), the multi-stream executor
+// (§IV-A), the NVMe tier (§III-G), and the forward-only inference mode
+// used for knowledge distillation (§VI-D3).
+package core
+
+import (
+	"fmt"
+
+	"stronghold/internal/perf"
+	"stronghold/internal/sim"
+)
+
+// LayerProfile is the per-layer measurement gathered during the warm-up
+// phase (§III-B): compute times, transfer times and state sizes for one
+// layer — the inputs to formulations P1 and P2.
+type LayerProfile struct {
+	TFP  sim.Time // t_fp
+	TBP  sim.Time // t_bp (includes checkpoint recompute)
+	TC2G sim.Time // t_c2g
+	TG2C sim.Time // t_g2c
+	SFP  int64    // s_fp: bytes the layer occupies during FP
+	SBP  int64    // s_bp: bytes during BP (weights + gradients)
+}
+
+// Profile is a whole-model warm-up profile.
+type Profile struct {
+	Layers  []LayerProfile
+	TAsync  sim.Time // t_async
+	TOptGPU sim.Time // t_opt_gpu per layer
+	TOptCPU sim.Time // t_opt_cpu per layer for one worker at full bandwidth
+	// AvailGPU is S_avail: device bytes available to the working window
+	// after resident layers, activations and workspace.
+	AvailGPU int64
+	// OptWorkers is the concurrent optimizer pool size used when
+	// evaluating the parameter-update constraint (Eq. 3).
+	OptWorkers int
+	// OptPerTaskStretch is the per-task slowdown of one worker's update
+	// relative to TOptCPU (full-socket bandwidth): a single thread
+	// drives only a fraction of the socket, and W workers share it —
+	// so the stretch is max(W, socketBW/perThreadBW). It must match the
+	// engine's cpuOptDuration so Eq. 3 models the real chain.
+	OptPerTaskStretch int
+}
+
+// UniformProfile builds a Profile from the analytic cost model — the
+// homogeneous-layer case the paper calls out ("most of the layers are
+// homogeneous with the same number of parameters").
+func UniformProfile(m perf.Model, availGPU int64, optWorkers int) Profile {
+	lt := m.Layer()
+	layers := make([]LayerProfile, m.Cfg.Layers)
+	weights := m.Cfg.LayerWeightBytes()
+	grads := m.Cfg.LayerGradBytes()
+	for i := range layers {
+		layers[i] = LayerProfile{
+			TFP:  lt.FP,
+			TBP:  lt.BP,
+			TC2G: lt.C2G,
+			// BP offloads weights and gradients together (Fig. 3c ②).
+			TG2C: lt.G2C + sim.Time(float64(grads)/float64(weights)*float64(lt.G2C)),
+			SFP:  weights,
+			SBP:  weights + grads,
+		}
+	}
+	bwRatio := int(m.Plat.CPU.MemBandwidth / perWorkerCap(m.Plat.CPU))
+	return Profile{
+		Layers:            layers,
+		TAsync:            lt.Async,
+		TOptGPU:           lt.OptGPU,
+		TOptCPU:           lt.OptCPU,
+		AvailGPU:          availGPU,
+		OptWorkers:        optWorkers,
+		OptPerTaskStretch: max(optWorkers, bwRatio),
+	}
+}
+
+// WindowDecision is the solver's output.
+type WindowDecision struct {
+	M int // chosen working-window size (layers)
+	// MFP and MBP are the minimal windows satisfying P1 and P2.
+	MFP, MBP int
+	// MOpt is the minimal window satisfying the parameter-update
+	// constraint (Eq. 3).
+	MOpt int
+	// MemoryBound reports whether GPU memory forced a smaller window
+	// than the constraints wanted ("STRONGHOLD still uses the largest
+	// possible m … but the training efficiency may be sub-optimal").
+	MemoryBound bool
+	// AsyncFeasible is the Eq. 5 check: 5·n·t_async ≤ (n−m)·t_opt_gpu.
+	AsyncFeasible bool
+}
+
+// SolveWindow finds the smallest working-window size m satisfying
+// formulation P1 (FP prefetch hiding, Eq. 1), P2 (BP offload hiding,
+// Eq. 2) and the CPU parameter-update constraint (Eq. 3), then verifies
+// the async-overhead feasibility condition (Eq. 5). When memory cannot
+// accommodate that m, the largest memory-feasible window is returned
+// with MemoryBound set.
+func SolveWindow(p Profile) (WindowDecision, error) {
+	n := len(p.Layers)
+	if n == 0 {
+		return WindowDecision{}, fmt.Errorf("core: empty profile")
+	}
+	if p.AvailGPU <= 0 {
+		return WindowDecision{}, fmt.Errorf("core: no GPU memory available for the window")
+	}
+
+	memOK := func(m int) bool { return p.windowBytes(m) <= p.AvailGPU }
+	if !memOK(1) {
+		return WindowDecision{}, fmt.Errorf("core: even a single-layer window (%d bytes) exceeds available GPU memory (%d)",
+			p.windowBytes(1), p.AvailGPU)
+	}
+
+	mFP := p.minWindowFP()
+	mBP := p.minWindowBP()
+	mOpt := p.minWindowOpt()
+	want := max(mFP, max(mBP, mOpt))
+	if want > n {
+		want = n
+	}
+
+	d := WindowDecision{MFP: mFP, MBP: mBP, MOpt: mOpt}
+	m := want
+	for m > 1 && !memOK(m) {
+		m--
+		d.MemoryBound = true
+	}
+	d.M = m
+	d.AsyncFeasible = 5*sim.Time(n)*p.TAsync <= sim.Time(n-m)*p.TOptGPU
+	return d, nil
+}
+
+// windowBytes returns the GPU bytes an m-layer window needs, including
+// the (1c) prefetch buffer for the layer just outside the window.
+func (p Profile) windowBytes(m int) int64 {
+	var total int64
+	for i := 0; i < m && i < len(p.Layers); i++ {
+		total += p.Layers[i].SBP // BP sizing dominates (weights+grads)
+	}
+	// s_fp^j of the incoming layer (constraint 1c).
+	total += p.Layers[min(m, len(p.Layers)-1)].SFP
+	return total
+}
+
+// minWindowFP solves P1: the smallest m such that, at every window
+// position, the window's forward compute covers both the incoming
+// prefetch (1b) and the window's own two-way traffic with buffer
+// recycling (1d).
+func (p Profile) minWindowFP() int {
+	n := len(p.Layers)
+	for m := 1; m <= n; m++ {
+		if p.fpWindowOK(m) {
+			return m
+		}
+	}
+	return n
+}
+
+func (p Profile) fpWindowOK(m int) bool {
+	n := len(p.Layers)
+	for start := 0; start+m < n; start++ {
+		var fpSum, c2gSum, g2cSum sim.Time
+		for i := start; i < start+m; i++ {
+			fpSum += p.Layers[i].TFP
+			c2gSum += p.Layers[i].TC2G
+			g2cSum += sim.Time(float64(p.Layers[i].SFP) / float64(p.Layers[i].SBP) * float64(p.Layers[i].TG2C))
+		}
+		j := start + m
+		// (1b): prefetch of layer j hides under the window's compute.
+		if fpSum < p.Layers[j].TC2G {
+			return false
+		}
+		// (1d): compute covers recycling the window's own buffers.
+		if fpSum < c2gSum+g2cSum {
+			return false
+		}
+	}
+	return true
+}
+
+// minWindowBP solves P2 analogously for the backward direction.
+func (p Profile) minWindowBP() int {
+	n := len(p.Layers)
+	for m := 1; m <= n; m++ {
+		if p.bpWindowOK(m) {
+			return m
+		}
+	}
+	return n
+}
+
+func (p Profile) bpWindowOK(m int) bool {
+	n := len(p.Layers)
+	for end := n - 1; end-m >= 0; end-- {
+		var bpSum, c2gSum, g2cSum sim.Time
+		for i := end; i > end-m; i-- {
+			bpSum += p.Layers[i].TBP
+			c2gSum += p.Layers[i].TC2G
+			g2cSum += p.Layers[i].TG2C
+		}
+		j := end - m
+		// (2b): offload of the leaving layer hides under BP compute.
+		if bpSum < p.Layers[j].TG2C {
+			return false
+		}
+		// (2d): compute covers the window's two-way traffic.
+		if bpSum < c2gSum+g2cSum {
+			return false
+		}
+	}
+	return true
+}
+
+// minWindowOpt solves Eq. 3: each offloaded layer's full update chain —
+// gradient offload, CPU Adam at the pool's per-worker bandwidth share,
+// re-prefetch, and the asynchronous call overheads along the way — must
+// complete within the compute the window buys before that layer is
+// needed again by the next iteration's forward pass.
+func (p Profile) minWindowOpt() int {
+	n := len(p.Layers)
+	// Per-worker update time stretches with bandwidth sharing and the
+	// per-thread bandwidth ceiling.
+	stretch := max(p.OptPerTaskStretch, max(p.OptWorkers, 1))
+	chain := p.TOptCPU*sim.Time(stretch) +
+		p.Layers[0].TG2C + p.Layers[0].TC2G + 5*p.TAsync
+	for m := 1; m <= n; m++ {
+		var cover sim.Time
+		for i := 0; i < m; i++ {
+			cover += p.Layers[i].TFP + p.Layers[i].TBP
+		}
+		cover += sim.Time(m) * p.TOptGPU
+		if chain <= cover {
+			return m
+		}
+	}
+	return n
+}

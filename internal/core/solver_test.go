@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stronghold/internal/hw"
+	"stronghold/internal/modelcfg"
+	"stronghold/internal/perf"
+	"stronghold/internal/sim"
+)
+
+func uniformTestProfile(n int, tFP, tC2G sim.Time, availGPU int64) Profile {
+	layers := make([]LayerProfile, n)
+	for i := range layers {
+		layers[i] = LayerProfile{
+			TFP: tFP, TBP: 3 * tFP, TC2G: tC2G, TG2C: 2 * tC2G,
+			SFP: 100, SBP: 200,
+		}
+	}
+	return Profile{
+		Layers: layers, TAsync: 8_000, TOptGPU: 1_000_000,
+		TOptCPU: 10_000_000, AvailGPU: availGPU, OptWorkers: 16,
+	}
+}
+
+func TestSolverComputeBoundPicksSmallWindow(t *testing.T) {
+	// Compute far exceeds transfer: the minimal window suffices.
+	p := uniformTestProfile(20, sim.Milliseconds(100), sim.Milliseconds(1), 1<<20)
+	d, err := SolveWindow(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.M > 2 {
+		t.Fatalf("compute-bound model should need a tiny window, got %d", d.M)
+	}
+	if d.MemoryBound {
+		t.Fatal("plenty of memory available")
+	}
+	if !d.AsyncFeasible {
+		t.Fatal("async overhead trivially feasible here")
+	}
+}
+
+func TestSolverTransferBoundGrowsWindow(t *testing.T) {
+	// Transfers 4x compute: P1's (1d) needs enough layers to cover
+	// two-way traffic.
+	p := uniformTestProfile(20, sim.Milliseconds(10), sim.Milliseconds(40), 1<<20)
+	d, err := SolveWindow(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.M < 4 {
+		t.Fatalf("transfer-bound model needs a large window, got %d", d.M)
+	}
+	if d.MFP <= 1 {
+		t.Fatalf("P1 should demand more than one layer, got %d", d.MFP)
+	}
+}
+
+func TestSolverConstraintsHoldAtChosenM(t *testing.T) {
+	// Whatever m the solver returns (absent a memory bound), the P1/P2
+	// window checks must pass at that m.
+	p := uniformTestProfile(30, sim.Milliseconds(20), sim.Milliseconds(25), 1<<30)
+	d, err := SolveWindow(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MemoryBound {
+		t.Fatal("unexpected memory bound")
+	}
+	if !p.fpWindowOK(d.M) {
+		t.Fatalf("P1 violated at returned m=%d", d.M)
+	}
+	if !p.bpWindowOK(d.M) {
+		t.Fatalf("P2 violated at returned m=%d", d.M)
+	}
+}
+
+func TestSolverMemoryBoundClamps(t *testing.T) {
+	// Only 3 layers' worth of window memory available although the
+	// constraints want more.
+	p := uniformTestProfile(20, sim.Milliseconds(10), sim.Milliseconds(100), 700)
+	d, err := SolveWindow(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.MemoryBound {
+		t.Fatal("solver must report the memory clamp")
+	}
+	if p.windowBytes(d.M) > p.AvailGPU {
+		t.Fatalf("returned window %d does not fit memory", d.M)
+	}
+}
+
+func TestSolverSingleLayerDoesNotFit(t *testing.T) {
+	p := uniformTestProfile(20, 1, 1, 100) // windowBytes(1) = 200+100
+	if _, err := SolveWindow(p); err == nil {
+		t.Fatal("must error when even one layer cannot fit")
+	}
+}
+
+func TestSolverEmptyProfile(t *testing.T) {
+	if _, err := SolveWindow(Profile{AvailGPU: 1}); err == nil {
+		t.Fatal("empty profile must error")
+	}
+}
+
+func TestSolverOptConstraint(t *testing.T) {
+	// Slow CPU optimizer with a big pool: Eq. 3 forces a bigger window
+	// so the per-layer update hides under the window's compute.
+	p := uniformTestProfile(40, sim.Milliseconds(10), sim.Milliseconds(1), 1<<30)
+	p.TOptCPU = sim.Milliseconds(20) // ×16 workers = 320ms per layer
+	d, err := SolveWindow(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MOpt < 2 {
+		t.Fatalf("Eq.3 should demand window > 1, got %d", d.MOpt)
+	}
+	if d.M < d.MOpt {
+		t.Fatal("chosen window must satisfy the optimizer constraint")
+	}
+}
+
+func TestSolverWindowBytesIncludesPrefetchBuffer(t *testing.T) {
+	p := uniformTestProfile(10, 1, 1, 1<<30)
+	// m buffers of SBP plus one incoming SFP (constraint 1c).
+	if got := p.windowBytes(3); got != 3*200+100 {
+		t.Fatalf("windowBytes(3) = %d, want 700", got)
+	}
+}
+
+func TestUniformProfileFromModel(t *testing.T) {
+	m := perf.NewModel(modelcfg.Config1p7B(), hw.V100Platform())
+	p := UniformProfile(m, 8*hw.GB, 16)
+	if len(p.Layers) != 20 {
+		t.Fatalf("profile has %d layers", len(p.Layers))
+	}
+	l := p.Layers[0]
+	if l.TBP <= l.TFP {
+		t.Fatal("BP must exceed FP")
+	}
+	// BP offload moves weights+grads: TG2C ≈ 2× the FP weight transfer.
+	if l.TG2C < l.TC2G {
+		t.Fatal("BP offload must move at least the FP prefetch volume")
+	}
+	if l.SBP != 2*l.SFP {
+		t.Fatalf("BP state (w+g) must be twice FP state: %d vs %d", l.SBP, l.SFP)
+	}
+	d, err := SolveWindow(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.M < 1 || d.M > 20 {
+		t.Fatalf("window %d out of range", d.M)
+	}
+}
+
+// Property: the solver's window always fits in the provided memory and
+// satisfies P1/P2 whenever it is not memory-bound.
+func TestPropertySolverSound(t *testing.T) {
+	f := func(nRaw, fpRaw, c2gRaw uint8, memRaw uint16) bool {
+		n := int(nRaw%40) + 2
+		tFP := sim.Milliseconds(float64(fpRaw%50) + 1)
+		tC2G := sim.Milliseconds(float64(c2gRaw%50) + 1)
+		avail := int64(memRaw%2000)*10 + 400
+		p := uniformTestProfile(n, tFP, tC2G, avail)
+		d, err := SolveWindow(p)
+		if err != nil {
+			return avail < 300 // only a too-small arena may error
+		}
+		if p.windowBytes(d.M) > p.AvailGPU {
+			return false
+		}
+		if !d.MemoryBound && d.M < max(d.MFP, max(d.MBP, d.MOpt)) && d.M < n {
+			return false
+		}
+		return d.M >= 1 && d.M <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

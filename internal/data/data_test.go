@@ -1,0 +1,115 @@
+package data
+
+import "testing"
+
+func TestLoaderValidation(t *testing.T) {
+	if _, err := NewLoader(1, 2, 4, 0); err == nil {
+		t.Fatal("vocab 1 must be rejected")
+	}
+	if _, err := NewLoader(10, 0, 4, 0); err == nil {
+		t.Fatal("batch 0 must be rejected")
+	}
+	if _, err := NewLoader(10, 2, 0, 0); err == nil {
+		t.Fatal("seq 0 must be rejected")
+	}
+}
+
+func TestLoaderShapesAndRange(t *testing.T) {
+	l, err := NewLoader(32, 3, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := l.Next()
+	if b.Inputs.Dim(0) != 3 || b.Inputs.Dim(1) != 5 {
+		t.Fatalf("input shape %v", b.Inputs.Shape())
+	}
+	if b.Targets.Dim(0) != 3 || b.Targets.Dim(1) != 5 {
+		t.Fatalf("target shape %v", b.Targets.Shape())
+	}
+	for _, v := range b.Inputs.Data() {
+		if v != float32(int(v)) || v < 0 || v >= 32 {
+			t.Fatalf("non-integral or out-of-range token %v", v)
+		}
+	}
+}
+
+func TestLoaderTargetsAreShiftedInputs(t *testing.T) {
+	l, _ := NewLoader(100, 2, 6, 7)
+	b := l.Next()
+	for bi := 0; bi < 2; bi++ {
+		for s := 0; s < 5; s++ {
+			if b.Targets.At(bi, s) != b.Inputs.At(bi, s+1) {
+				t.Fatalf("target (%d,%d) not shifted input", bi, s)
+			}
+		}
+	}
+}
+
+func TestLoaderDeterminism(t *testing.T) {
+	l1, _ := NewLoader(50, 2, 4, 9)
+	l2, _ := NewLoader(50, 2, 4, 9)
+	for i := 0; i < 3; i++ {
+		b1, b2 := l1.Next(), l2.Next()
+		if !b1.Inputs.Equal(b2.Inputs) || !b1.Targets.Equal(b2.Targets) {
+			t.Fatalf("batch %d differs across identical seeds", i)
+		}
+	}
+	l3, _ := NewLoader(50, 2, 4, 10)
+	if l3.Next().Inputs.Equal(l1.Next().Inputs) {
+		t.Fatal("different seeds should produce different streams")
+	}
+	if l1.Step() != 4 {
+		t.Fatalf("Step = %d, want 4", l1.Step())
+	}
+}
+
+func TestLoaderSuccessiveBatchesDiffer(t *testing.T) {
+	l, _ := NewLoader(50, 2, 8, 11)
+	if l.Next().Inputs.Equal(l.Next().Inputs) {
+		t.Fatal("successive batches should differ")
+	}
+}
+
+func TestTextLoaderValidation(t *testing.T) {
+	if _, err := NewTextLoader("hi", 2, 8, 1); err == nil {
+		t.Fatal("tiny corpus must be rejected")
+	}
+	if _, err := NewTextLoader("plenty of text here for training", 0, 4, 1); err == nil {
+		t.Fatal("zero batch must be rejected")
+	}
+}
+
+func TestTextLoaderWindows(t *testing.T) {
+	corpus := "the quick brown fox jumps over the lazy dog"
+	l, err := NewTextLoader(corpus, 3, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := l.Next()
+	if b.Inputs.Dim(0) != 3 || b.Inputs.Dim(1) != 8 {
+		t.Fatalf("shape %v", b.Inputs.Shape())
+	}
+	// Targets shift inputs by one, and every token is a corpus byte.
+	for r := 0; r < 3; r++ {
+		for s := 0; s < 7; s++ {
+			if b.Targets.At(r, s) != b.Inputs.At(r, s+1) {
+				t.Fatal("targets must shift inputs")
+			}
+		}
+		for s := 0; s < 8; s++ {
+			v := int(b.Inputs.At(r, s))
+			if v < 0 || v >= TextVocab {
+				t.Fatalf("byte %d out of range", v)
+			}
+		}
+	}
+}
+
+func TestTextLoaderDeterministic(t *testing.T) {
+	corpus := "determinism is a feature of this simulator throughout"
+	a, _ := NewTextLoader(corpus, 2, 8, 7)
+	b, _ := NewTextLoader(corpus, 2, 8, 7)
+	if !a.Next().Inputs.Equal(b.Next().Inputs) {
+		t.Fatal("same seed must repeat")
+	}
+}

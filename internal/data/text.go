@@ -1,0 +1,52 @@
+package data
+
+import (
+	"fmt"
+
+	"stronghold/internal/tensor"
+)
+
+// TextVocab is the byte-level vocabulary size.
+const TextVocab = 256
+
+// TextLoader produces language-model batches from a real text corpus
+// with byte-level tokenization — the offline stand-in for the paper's
+// Wikipedia dump when actual text (rather than synthetic tokens) is
+// wanted in the functional path.
+type TextLoader struct {
+	corpus    []byte
+	BatchSize int
+	SeqLen    int
+	rng       *tensor.RNG
+}
+
+// NewTextLoader wraps a corpus. It needs at least SeqLen+1 bytes to cut
+// one training window.
+func NewTextLoader(text string, batchSize, seqLen int, seed uint64) (*TextLoader, error) {
+	if batchSize <= 0 || seqLen <= 0 {
+		return nil, fmt.Errorf("data: non-positive batch %d or seq %d", batchSize, seqLen)
+	}
+	if len(text) < seqLen+2 {
+		return nil, fmt.Errorf("data: corpus of %d bytes too small for seq %d", len(text), seqLen)
+	}
+	return &TextLoader{
+		corpus: []byte(text), BatchSize: batchSize, SeqLen: seqLen,
+		rng: tensor.NewRNG(seed),
+	}, nil
+}
+
+// Next cuts BatchSize random windows from the corpus; targets are the
+// inputs shifted by one byte.
+func (l *TextLoader) Next() Batch {
+	in := tensor.New(l.BatchSize, l.SeqLen)
+	tgt := tensor.New(l.BatchSize, l.SeqLen)
+	maxStart := len(l.corpus) - l.SeqLen - 1
+	for b := 0; b < l.BatchSize; b++ {
+		start := l.rng.Intn(maxStart + 1)
+		for s := 0; s < l.SeqLen; s++ {
+			in.Set(float32(l.corpus[start+s]), b, s)
+			tgt.Set(float32(l.corpus[start+s+1]), b, s)
+		}
+	}
+	return Batch{Inputs: in, Targets: tgt}
+}

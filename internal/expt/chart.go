@@ -1,0 +1,122 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ASCII charts — the terminal-native equivalent of the artifact's
+// case*_draw.py scripts. BarChart renders labeled horizontal bars;
+// LineChart renders one series against an x axis. Both normalize to the
+// maximum value and stay dependency-free.
+
+// BarChart renders label→value pairs as horizontal bars of up to width
+// cells, annotated with the value via format (e.g. "%.1f").
+func BarChart(title string, labels []string, values []float64, width int, format string) string {
+	if len(labels) != len(values) || len(labels) == 0 {
+		return title + "\n(no data)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	maxV := values[0]
+	labelW := len(labels[0])
+	for i, l := range labels {
+		if values[i] > maxV {
+			maxV = values[i]
+		}
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	for i, l := range labels {
+		n := 0
+		if maxV > 0 {
+			n = int(values[i] / maxV * float64(width))
+		}
+		fmt.Fprintf(&sb, "%-*s |%s%s %s\n", labelW, l,
+			strings.Repeat("#", n), strings.Repeat(" ", width-n),
+			fmt.Sprintf(format, values[i]))
+	}
+	return sb.String()
+}
+
+// LineChart renders y(x) as a height-row ASCII plot with '*' marks,
+// linearly scaled in both axes.
+func LineChart(title string, xs, ys []float64, width, height int) string {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return title + "\n(no data)\n"
+	}
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := xs[0], xs[0]
+	minY, maxY := ys[0], ys[0]
+	for i := range xs {
+		minX, maxX = min(minX, xs[i]), max(maxX, xs[i])
+		minY, maxY = min(minY, ys[i]), max(maxY, ys[i])
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range xs {
+		c := int((xs[i] - minX) / (maxX - minX) * float64(width-1))
+		r := int((ys[i] - minY) / (maxY - minY) * float64(height-1))
+		grid[height-1-r][c] = '*'
+	}
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	fmt.Fprintf(&sb, "%8.3g ^\n", maxY)
+	for _, row := range grid {
+		sb.WriteString("         |" + string(row) + "\n")
+	}
+	fmt.Fprintf(&sb, "%8.3g +%s>\n", minY, strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "          %-8.3g%s%8.3g\n", minX, strings.Repeat(" ", max(width-16, 1)), maxX)
+	return sb.String()
+}
+
+// ChartFigure9 draws the window-size sweep as a line chart.
+func ChartFigure9(rows []WindowRow, solved int) string {
+	xs := make([]float64, len(rows))
+	ys := make([]float64, len(rows))
+	for i, r := range rows {
+		xs[i] = float64(r.Window)
+		ys[i] = r.Small1p7SPS
+	}
+	return LineChart(fmt.Sprintf("Figure 9 (1.7B): samples/s vs window (solver: m=%d)", solved),
+		xs, ys, 48, 8)
+}
+
+// ChartFigure6a draws the capacity comparison as bars.
+func ChartFigure6a(rows []SizeRow) string {
+	labels := make([]string, len(rows))
+	values := make([]float64, len(rows))
+	for i, r := range rows {
+		labels[i] = r.Method.String()
+		values[i] = r.MaxB
+	}
+	return BarChart("Figure 6a: largest trainable size (B parameters)", labels, values, 40, "%.1fB")
+}
+
+// ChartFigure8a draws relative throughput as bars.
+func ChartFigure8a(rows []RelThroughputRow) string {
+	labels := make([]string, len(rows))
+	values := make([]float64, len(rows))
+	for i, r := range rows {
+		labels[i] = r.Method.String()
+		values[i] = r.RelMegatron * 100
+	}
+	return BarChart("Figure 8a: throughput vs Megatron-LM (%)", labels, values, 40, "%.0f%%")
+}

@@ -1,0 +1,106 @@
+package expt
+
+import (
+	"fmt"
+
+	"stronghold/internal/cluster"
+	"stronghold/internal/hw"
+	"stronghold/internal/modelcfg"
+)
+
+// DistRow is one bar of Figure 12: distributed throughput of ZeRO-2,
+// ZeRO-3 and STRONGHOLD on the largest ZeRO-2-trainable model (3B,
+// batch 1 per GPU) across the 8-node A10 cluster.
+type DistRow struct {
+	Method        modelcfg.Method
+	SamplesPerSec float64 // global samples/s (8 data-parallel workers)
+	RelZeRO2      float64
+}
+
+// Figure12 reproduces the distributed comparison. Paper: STRONGHOLD
+// ≥2.6× ZeRO's throughput by replacing partitioned states with per-node
+// offloading and overlapped per-layer all-reduce.
+func Figure12() []DistRow {
+	p := hw.A10ClusterPlatform()
+	cfg := modelcfg.Config3B()
+	methods := []modelcfg.Method{modelcfg.ZeRO2, modelcfg.ZeRO3, modelcfg.Stronghold}
+	var rows []DistRow
+	var z2SPS float64
+	for _, m := range methods {
+		r := cluster.Run(cluster.Setup{Plat: p, Cfg: cfg, Method: m, HeteroCollectives: true})
+		sps := 0.0
+		if !r.OOM {
+			// All three run data-parallel: global batch = nodes × bs.
+			sps = r.Throughput(cfg.BatchSize * p.Nodes)
+		}
+		if m == modelcfg.ZeRO2 {
+			z2SPS = sps
+		}
+		rows = append(rows, DistRow{Method: m, SamplesPerSec: sps})
+	}
+	for i := range rows {
+		if z2SPS > 0 {
+			rows[i].RelZeRO2 = rows[i].SamplesPerSec / z2SPS
+		}
+	}
+	return rows
+}
+
+// CommVolumeRow evaluates the §III-F closed-form traffic model for one
+// configuration.
+type CommVolumeRow struct {
+	SizeB     float64
+	Layers    int
+	Hidden    int
+	BatchSize int
+	// Ratio is V_mp / V_dp — how much more traffic model parallelism
+	// moves than the data parallelism STRONGHOLD converts it into.
+	Ratio float64
+}
+
+// CommVolume reproduces the §III-F analysis, including the paper's 20B
+// example (n=50, hd=4K, bs=16).
+func CommVolume() []CommVolumeRow {
+	var rows []CommVolumeRow
+	for _, c := range []struct {
+		layers, hidden, bs int
+	}{
+		{50, 4096, 4}, {50, 4096, 16}, {50, 4096, 64},
+		{100, 2560, 16}, {24, 8192, 16},
+	} {
+		cfg := modelcfg.NewConfig(c.layers, c.hidden, 16)
+		cfg.BatchSize = c.bs
+		rows = append(rows, CommVolumeRow{
+			SizeB: cfg.ParamsBillion(), Layers: c.layers, Hidden: c.hidden,
+			BatchSize: c.bs, Ratio: modelcfg.VolumeRatio(cfg, 8),
+		})
+	}
+	return rows
+}
+
+// RenderDistRows formats Figure 12.
+func RenderDistRows(rows []DistRow) string {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Method.String(),
+			fmt.Sprintf("%.3f", r.SamplesPerSec),
+			fmt.Sprintf("%.2fx", r.RelZeRO2),
+		})
+	}
+	return "Figure 12: distributed training on 8xA10 (3B model, bs=1/GPU)\n" +
+		renderTable([]string{"method", "samples/s", "vs ZeRO-2"}, cells)
+}
+
+// RenderCommVolumeRows formats the §III-F table.
+func RenderCommVolumeRows(rows []CommVolumeRow) string {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			formatB(r.SizeB), fmt.Sprintf("%d", r.Layers), fmt.Sprintf("%d", r.Hidden),
+			fmt.Sprintf("%d", r.BatchSize), fmt.Sprintf("%.2f", r.Ratio),
+		})
+	}
+	return "SIII-F: model-parallel vs data-parallel traffic ratio (V_mp/V_dp, w=8)\n" +
+		renderTable([]string{"size", "layers", "hidden", "batch", "Vmp/Vdp"}, cells)
+}

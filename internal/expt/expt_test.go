@@ -1,0 +1,463 @@
+package expt
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"stronghold/internal/modelcfg"
+)
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); g != 4 {
+		t.Fatalf("GeoMean = %v, want 4", g)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{1, 0}) != 0 {
+		t.Fatal("degenerate inputs must return 0")
+	}
+}
+
+func rowFor(rows []SizeRow, m modelcfg.Method) SizeRow {
+	for _, r := range rows {
+		if r.Method == m {
+			return r
+		}
+	}
+	return SizeRow{}
+}
+
+func TestFigure6aHeadlines(t *testing.T) {
+	rows := Figure6a()
+	if len(rows) != 5 {
+		t.Fatalf("want 5 methods, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PaperB == 0 {
+			t.Fatalf("%s missing paper reference", r.Method)
+		}
+		// Shape: within ±25% of the paper's headline.
+		if r.MaxB < r.PaperB*0.75 || r.MaxB > r.PaperB*1.25 {
+			t.Errorf("%s max %.1fB vs paper %.1fB (outside 25%%)", r.Method, r.MaxB, r.PaperB)
+		}
+		if r.MinB > r.MaxB {
+			t.Errorf("%s min %.1f > max %.1f", r.Method, r.MinB, r.MaxB)
+		}
+	}
+	sh := rowFor(rows, modelcfg.Stronghold)
+	zi := rowFor(rows, modelcfg.ZeROInfinity)
+	mega := rowFor(rows, modelcfg.Megatron)
+	if !(sh.MaxB > zi.MaxB && zi.MaxB > mega.MaxB) {
+		t.Fatalf("ordering violated: sh=%.1f zi=%.1f mega=%.1f", sh.MaxB, zi.MaxB, mega.MaxB)
+	}
+	// Paper ratios: SH ≈ 6.5x L2L/ZeRO-Offload, ≈1.9x ZeRO-Infinity.
+	l2l := rowFor(rows, modelcfg.L2L)
+	if ratio := sh.MaxB / l2l.MaxB; ratio < 4.5 || ratio > 9 {
+		t.Errorf("SH/L2L ratio %.1f, paper 6.5x", ratio)
+	}
+	if ratio := sh.MaxB / zi.MaxB; ratio < 1.4 || ratio > 2.6 {
+		t.Errorf("SH/ZI ratio %.1f, paper 1.9x", ratio)
+	}
+}
+
+func TestFigure6bHeadlines(t *testing.T) {
+	rows := Figure6b()
+	sh := rowFor(rows, modelcfg.Stronghold)
+	zi := rowFor(rows, modelcfg.ZeROInfinity)
+	if sh.MaxB <= zi.MaxB {
+		t.Fatalf("STRONGHOLD (%.1fB) must beat ZeRO-Infinity (%.1fB) on the cluster", sh.MaxB, zi.MaxB)
+	}
+	if sh.MaxB < 62 || sh.MaxB > 103 {
+		t.Errorf("SH cluster max %.1fB, paper 82.1B", sh.MaxB)
+	}
+	if zi.MaxB < 43 || zi.MaxB > 71 {
+		t.Errorf("ZI cluster max %.1fB, paper 56.9B", zi.MaxB)
+	}
+	// L2L and ZeRO-Offload give "limited improvement" over their
+	// single-GPU numbers — still far below ZeRO-Infinity.
+	if l2l := rowFor(rows, modelcfg.L2L); l2l.MaxB >= zi.MaxB {
+		t.Errorf("L2L (%.1fB) should trail ZeRO-Infinity (%.1fB)", l2l.MaxB, zi.MaxB)
+	}
+}
+
+func TestFigure1aSubset(t *testing.T) {
+	rows := Figure1a()
+	if len(rows) != 4 {
+		t.Fatalf("want 4 motivation methods, got %d", len(rows))
+	}
+	nvme := rowFor(rows, modelcfg.ZeROInfinityNVMe)
+	cpu := rowFor(rows, modelcfg.ZeROInfinity)
+	if nvme.MaxB <= cpu.MaxB {
+		t.Fatal("NVMe tier must raise ZeRO-Infinity's capacity")
+	}
+}
+
+func TestFigure7aShape(t *testing.T) {
+	rows := Figure7a()
+	get := func(m modelcfg.Method) ThroughputRow {
+		for _, r := range rows {
+			if r.Method == m {
+				return r
+			}
+		}
+		return ThroughputRow{}
+	}
+	sh := get(modelcfg.Stronghold)
+	if sh.TFLOPS < 4 || sh.TFLOPS > 10 {
+		t.Errorf("STRONGHOLD TFLOPS %.2f, paper 6–9", sh.TFLOPS)
+	}
+	for _, m := range []modelcfg.Method{modelcfg.L2L, modelcfg.ZeROOffload, modelcfg.ZeROInfinity} {
+		r := get(m)
+		if r.TFLOPS >= sh.TFLOPS {
+			t.Errorf("%s TFLOPS %.2f should trail STRONGHOLD %.2f", m, r.TFLOPS, sh.TFLOPS)
+		}
+	}
+	// The paper's strongest quantitative claim: SH's TFLOPS far exceeds
+	// ZeRO-Offload (0.59) and ZeRO-Infinity (0.53) at their largest
+	// models.
+	if zo := get(modelcfg.ZeROOffload); sh.TFLOPS/zo.TFLOPS < 3 {
+		t.Errorf("SH/ZeRO-Offload TFLOPS ratio %.1f, paper ≈12x", sh.TFLOPS/zo.TFLOPS)
+	}
+}
+
+func TestFigure8aShape(t *testing.T) {
+	rows := Figure8a()
+	get := func(m modelcfg.Method) RelThroughputRow {
+		for _, r := range rows {
+			if r.Method == m {
+				return r
+			}
+		}
+		return RelThroughputRow{}
+	}
+	if r := get(modelcfg.L2L); r.RelMegatron < 0.12 || r.RelMegatron > 0.35 {
+		t.Errorf("L2L at %.0f%% of Megatron, paper 22%%", r.RelMegatron*100)
+	}
+	if r := get(modelcfg.ZeROOffload); r.RelMegatron >= 0.60 {
+		t.Errorf("ZeRO-Offload at %.0f%%, paper <57%%", r.RelMegatron*100)
+	}
+	if r := get(modelcfg.ZeROInfinity); r.RelMegatron >= 0.60 {
+		t.Errorf("ZeRO-Infinity at %.0f%%, paper <57%%", r.RelMegatron*100)
+	}
+	// "STRONGHOLD is the only offloading solution that gives an
+	// improvement over Megatron-LM."
+	if r := get(modelcfg.Stronghold); r.RelMegatron <= 1.0 {
+		t.Errorf("STRONGHOLD at %.0f%% of Megatron, paper >100%%", r.RelMegatron*100)
+	}
+}
+
+func TestFigure8bLinearScaling(t *testing.T) {
+	rows := Figure8b()
+	if len(rows) < 5 {
+		t.Fatalf("want ≥5 scaling points, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if math.Abs(r.DeviationPc) > 15 {
+			t.Errorf("%.1fB deviates %.1f%% from linear; paper shows near-linear scaling", r.SizeB, r.DeviationPc)
+		}
+	}
+	// Iteration time must be monotone in size.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].IterSec <= rows[i-1].IterSec {
+			t.Fatalf("iteration time not monotone at %.1fB", rows[i].SizeB)
+		}
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	rows, solved, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solved < 1 {
+		t.Fatalf("solver picked %d", solved)
+	}
+	// Throughput at the smallest window must trail the plateau; the
+	// plateau (largest windows) must be flat within 3%.
+	first, last := rows[0], rows[len(rows)-1]
+	if first.Small1p7SPS >= last.Small1p7SPS {
+		t.Fatalf("window 1 (%.3f) should trail window %d (%.3f)",
+			first.Small1p7SPS, last.Window, last.Small1p7SPS)
+	}
+	var plateau []WindowRow
+	for _, r := range rows {
+		if r.Window >= solved {
+			plateau = append(plateau, r)
+		}
+	}
+	for _, r := range plateau {
+		if math.Abs(r.Small1p7SPS-last.Small1p7SPS)/last.Small1p7SPS > 0.03 {
+			t.Errorf("window %d off the plateau: %.3f vs %.3f", r.Window, r.Small1p7SPS, last.Small1p7SPS)
+		}
+	}
+	// The solver's window must sit on the plateau (within 3% of the
+	// best observed throughput) — the paper's "automatically determines"
+	// claim.
+	var atSolved, best float64
+	for _, r := range rows {
+		if r.SolverChoice {
+			atSolved = r.Small1p7SPS
+		}
+		if r.Small1p7SPS > best {
+			best = r.Small1p7SPS
+		}
+	}
+	if atSolved < best*0.97 {
+		t.Errorf("solver window throughput %.3f below plateau best %.3f", atSolved, best)
+	}
+}
+
+func TestFigure4Overlap(t *testing.T) {
+	r, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Overlap < 0.85 {
+		t.Errorf("overlap %.2f; the paper's trace shows communication largely hidden", r.Overlap)
+	}
+	if r.Trace.Len() == 0 || len(r.ChromeJSON) == 0 {
+		t.Fatal("trace must be recorded and exportable")
+	}
+	if r.Window < 1 {
+		t.Fatal("window must be solved")
+	}
+}
+
+func TestFigure10NVMeSpeedup(t *testing.T) {
+	rows := Figure10()
+	if len(rows) == 0 {
+		t.Fatal("no NVMe rows")
+	}
+	for _, r := range rows {
+		if r.ShSPS == 0 {
+			t.Errorf("STRONGHOLD NVMe failed at %.0fB", r.SizeB)
+			continue
+		}
+		if r.SpeedupOver < 5 {
+			t.Errorf("%.0fB: SH/ZI speedup %.1fx, paper >8x", r.SizeB, r.SpeedupOver)
+		}
+	}
+}
+
+func TestFigure11MultiStream(t *testing.T) {
+	rows := Figure11()
+	if len(rows) != 4 {
+		t.Fatalf("want 4 batch sizes, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup < 1.3 || r.Speedup > 2.6 {
+			t.Errorf("bs=%d speedup %.2fx; paper range 1.7–2.1x", r.BatchSize, r.Speedup)
+		}
+		if r.Streams < 2 {
+			t.Errorf("bs=%d picked %d streams; the optimization should engage", r.BatchSize, r.Streams)
+		}
+	}
+}
+
+func TestFigure12Distributed(t *testing.T) {
+	rows := Figure12()
+	var sh, z2 DistRow
+	for _, r := range rows {
+		switch r.Method {
+		case modelcfg.Stronghold:
+			sh = r
+		case modelcfg.ZeRO2:
+			z2 = r
+		}
+	}
+	if z2.SamplesPerSec <= 0 {
+		t.Fatal("ZeRO-2 must run")
+	}
+	if sh.RelZeRO2 < 2.0 {
+		t.Errorf("STRONGHOLD %.2fx over ZeRO-2, paper ≥2.6x", sh.RelZeRO2)
+	}
+}
+
+func TestFigure13Inference(t *testing.T) {
+	rows := Figure13()
+	sawPTOOM := false
+	for _, r := range rows {
+		if r.ShOOM {
+			t.Errorf("STRONGHOLD inference OOM at %.1fB", r.SizeB)
+		}
+		if r.PyTorchOOM {
+			sawPTOOM = true
+		}
+	}
+	if !sawPTOOM {
+		t.Fatal("PyTorch must OOM somewhere in the sweep")
+	}
+	// Small-model latency parity (within 30%).
+	small := rows[0]
+	if small.PyTorchOOM {
+		t.Fatal("1.7B resident inference must fit")
+	}
+	if small.ShSec > small.PyTorchSec*1.3 {
+		t.Errorf("1.7B: SH %.2fs vs PyTorch %.2fs; paper reports parity", small.ShSec, small.PyTorchSec)
+	}
+	// Linear scaling across the STRONGHOLD series.
+	last := rows[len(rows)-1]
+	scale := last.ShSec / small.ShSec
+	sizeScale := last.SizeB / small.SizeB
+	if scale < sizeScale*0.6 || scale > sizeScale*1.6 {
+		t.Errorf("inference scaling %.1fx for %.1fx size", scale, sizeScale)
+	}
+}
+
+func TestFigure14Ablation(t *testing.T) {
+	rows := Figure14()
+	if len(rows) != 3 {
+		t.Fatalf("want 3 optimizations, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup < 1.05 {
+			t.Errorf("%s speedup %.2fx: every optimization must help", r.Optimization, r.Speedup)
+		}
+		// Shape: within a factor 1.6 of the paper's bar.
+		if r.Speedup < r.PaperSpeedup/1.6 || r.Speedup > r.PaperSpeedup*1.6 {
+			t.Errorf("%s speedup %.2fx vs paper %.1fx (outside 1.6x band)",
+				r.Optimization, r.Speedup, r.PaperSpeedup)
+		}
+	}
+}
+
+func TestCommVolumeRows(t *testing.T) {
+	rows := CommVolume()
+	if len(rows) < 3 {
+		t.Fatal("too few rows")
+	}
+	// Ratio grows with batch size at fixed shape.
+	if !(rows[0].Ratio < rows[1].Ratio && rows[1].Ratio < rows[2].Ratio) {
+		t.Fatalf("Vmp/Vdp must grow with batch: %v %v %v", rows[0].Ratio, rows[1].Ratio, rows[2].Ratio)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	// Every renderer must produce non-empty, multi-line output.
+	outputs := []string{
+		RenderSizeRows("Fig 6a", Figure6a()),
+		RenderRelRows("Fig 8a", Figure8a()),
+		RenderScalingRows("Fig 8b", Figure8b()),
+		RenderStreamRows(Figure11()),
+		RenderDistRows(Figure12()),
+		RenderCommVolumeRows(CommVolume()),
+		RenderInferRows(Figure13()),
+		RenderAblationRows(Figure14()),
+		RenderNVMeRows(Figure10()),
+		RenderTableI(TableIRows()),
+	}
+	rows, solved, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outputs = append(outputs, RenderWindowRows(rows, solved))
+	tp := Figure7a()
+	outputs = append(outputs, RenderThroughputRows("Fig 7a", tp))
+	for i, o := range outputs {
+		if len(strings.Split(o, "\n")) < 3 {
+			t.Fatalf("renderer %d produced %q", i, o)
+		}
+	}
+}
+
+func TestVarianceProtocol(t *testing.T) {
+	r := Variance(10)
+	if r.Runs != 10 || r.GeoMeanSPS <= 0 {
+		t.Fatalf("bad report %+v", r)
+	}
+	if !r.Deterministic || r.MaxDeviationP != 0 {
+		t.Fatalf("simulator must be deterministic: %+v", r)
+	}
+	// The paper's bound holds trivially.
+	if r.MaxDeviationP >= 3 {
+		t.Fatal("variance exceeds the paper's <3% bound")
+	}
+}
+
+func TestJitterStudyRetentionImprovesWithWindow(t *testing.T) {
+	rows := JitterStudy(3)
+	if len(rows) != 4 {
+		t.Fatalf("want 4 windows, got %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Retention < rows[i-1].Retention-1e-9 {
+			t.Fatalf("retention must be non-decreasing with window: %+v", rows)
+		}
+	}
+	if rows[0].Retention > 0.95 {
+		t.Fatalf("window 1 should visibly suffer under 3x jitter: %.3f", rows[0].Retention)
+	}
+	if rows[len(rows)-1].Retention < 0.97 {
+		t.Fatalf("deep windows should absorb the jitter: %.3f", rows[len(rows)-1].Retention)
+	}
+}
+
+func TestHeteroWindowStudySavesMemory(t *testing.T) {
+	rows, err := HeteroWindowStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 strategies, got %d", len(rows))
+	}
+	fixedCount, fixedBudget := rows[0], rows[1]
+	if !fixedCount.HidesXfers || !fixedBudget.HidesXfers {
+		t.Fatalf("both strategies must hide transfers: %+v", rows)
+	}
+	// The §III-D claim: the fixed-budget mode needs less device memory
+	// on heterogeneous layers.
+	if fixedBudget.GPUBytes >= fixedCount.GPUBytes {
+		t.Fatalf("fixed budget (%d) should undercut fixed count (%d)",
+			fixedBudget.GPUBytes, fixedCount.GPUBytes)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("title", []string{"aa", "b"}, []float64{10, 5}, 20, "%.0f")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 || lines[0] != "title" {
+		t.Fatalf("chart structure wrong: %q", out)
+	}
+	// The larger value fills the width; the smaller fills half.
+	if strings.Count(lines[1], "#") != 20 || strings.Count(lines[2], "#") != 10 {
+		t.Fatalf("bar lengths wrong:\n%s", out)
+	}
+	if BarChart("t", nil, nil, 10, "%f") != "t\n(no data)\n" {
+		t.Fatal("empty chart")
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	out := LineChart("t", []float64{1, 2, 3, 4}, []float64{1, 2, 3, 4}, 16, 4)
+	if strings.Count(out, "*") != 4 {
+		t.Fatalf("want 4 marks:\n%s", out)
+	}
+	// Monotone series: first mark on the bottom row, last on the top.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[2], "*") {
+		t.Fatalf("top row missing mark:\n%s", out)
+	}
+	if LineChart("t", nil, nil, 10, 4) != "t\n(no data)\n" {
+		t.Fatal("empty chart")
+	}
+	// Flat series must not divide by zero.
+	flat := LineChart("t", []float64{1, 2}, []float64{5, 5}, 16, 4)
+	if !strings.Contains(flat, "*") {
+		t.Fatal("flat series must render")
+	}
+}
+
+func TestFigureCharts(t *testing.T) {
+	rows, solved, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := ChartFigure9(rows, solved); !strings.Contains(c, "*") {
+		t.Fatal("figure 9 chart empty")
+	}
+	if c := ChartFigure6a(Figure6a()); !strings.Contains(c, "#") {
+		t.Fatal("figure 6a chart empty")
+	}
+	if c := ChartFigure8a(Figure8a()); !strings.Contains(c, "#") {
+		t.Fatal("figure 8a chart empty")
+	}
+}

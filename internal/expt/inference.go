@@ -1,0 +1,61 @@
+package expt
+
+import (
+	"fmt"
+
+	"stronghold/internal/core"
+	"stronghold/internal/hw"
+	"stronghold/internal/modelcfg"
+	"stronghold/internal/perf"
+	"stronghold/internal/sim"
+)
+
+// InferRow is one point of Figure 13: forward-only (knowledge
+// distillation) latency for resident PyTorch inference versus
+// STRONGHOLD's windowed serving.
+type InferRow struct {
+	SizeB      float64
+	PyTorchSec float64 // 0 when OOM
+	PyTorchOOM bool
+	ShSec      float64
+	ShOOM      bool
+}
+
+// Figure13 sweeps teacher-model sizes. Paper: similar latency at small
+// sizes, PyTorch OOMs beyond device memory, STRONGHOLD scales linearly.
+func Figure13() []InferRow {
+	p := hw.V100Platform()
+	var rows []InferRow
+	for _, sizeB := range []float64{1.7, 4, 7, 13, 20, 39, 60} {
+		cfg := modelcfg.ConfigForSize(sizeB, 2560, 1)
+		m := perf.NewModel(cfg, p)
+		pt := core.PyTorchInference(m)
+		sh := (&core.InferenceEngine{Model: m}).Run()
+		rows = append(rows, InferRow{
+			SizeB:      cfg.ParamsBillion(),
+			PyTorchSec: sim.Seconds(pt.IterTime), PyTorchOOM: pt.OOM,
+			ShSec: sim.Seconds(sh.IterTime), ShOOM: sh.OOM,
+		})
+	}
+	return rows
+}
+
+// RenderInferRows formats Figure 13.
+func RenderInferRows(rows []InferRow) string {
+	var cells [][]string
+	fmtCell := func(sec float64, oom bool) string {
+		if oom {
+			return "OOM"
+		}
+		return fmt.Sprintf("%.2fs", sec)
+	}
+	for _, r := range rows {
+		cells = append(cells, []string{
+			formatB(r.SizeB),
+			fmtCell(r.PyTorchSec, r.PyTorchOOM),
+			fmtCell(r.ShSec, r.ShOOM),
+		})
+	}
+	return "Figure 13: forward-only inference for knowledge distillation\n" +
+		renderTable([]string{"size", "PyTorch", "STRONGHOLD"}, cells)
+}

@@ -1,0 +1,66 @@
+package expt
+
+import (
+	"stronghold/internal/baselines"
+	"stronghold/internal/core"
+	"stronghold/internal/modelcfg"
+	"stronghold/internal/perf"
+)
+
+// runMethod dispatches one single-GPU training-iteration simulation:
+// STRONGHOLD variants go through the discrete-event engine, baselines
+// through their closed-form schedules.
+func runMethod(method modelcfg.Method, m perf.Model) perf.IterationResult {
+	switch method {
+	case modelcfg.Stronghold, modelcfg.StrongholdNVMe:
+		e := core.NewEngine(m)
+		if method == modelcfg.StrongholdNVMe {
+			e.Feat.UseNVMe = true
+		}
+		return e.Run(3, nil)
+	default:
+		return baselines.Run(method, m)
+	}
+}
+
+// largestFor searches the §V-B family for the biggest model method can
+// train on the platform capacities, returning (minAcrossSettings,
+// maxAcrossSettings) in billions — the paper's Fig. 6 min-max bars.
+func largestFor(method modelcfg.Method, mp int, gpuBytes, hostBytes, diskBytes int64) (minB, maxB float64) {
+	minB = -1
+	for _, h := range searchHidden {
+		for _, bs := range searchBatches {
+			b := modelcfg.LargestTrainable(method, h, mp, []int{bs}, 8, gpuBytes, hostBytes, diskBytes)
+			if b > maxB {
+				maxB = b
+			}
+			if b > 0 && (minB < 0 || b < minB) {
+				minB = b
+			}
+		}
+	}
+	if minB < 0 {
+		minB = 0
+	}
+	return minB, maxB
+}
+
+// largestConfigFor returns a concrete config achieving (approximately)
+// method's largest trainable size — what Figure 7 measures throughput
+// on.
+func largestConfigFor(method modelcfg.Method, mp int, gpuBytes, hostBytes, diskBytes int64) modelcfg.Config {
+	bestB := 0.0
+	var best modelcfg.Config
+	for _, h := range searchHidden {
+		for _, bs := range searchBatches {
+			b := modelcfg.LargestTrainable(method, h, mp, []int{bs}, 8, gpuBytes, hostBytes, diskBytes)
+			if b > bestB {
+				bestB = b
+				c := modelcfg.ConfigForSize(b, h, mp)
+				c.BatchSize = bs
+				best = c
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,197 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CachingAllocator reproduces the PyTorch buffer-caching behaviour the
+// paper describes (§III-E3): freed buffers go to per-size free lists
+// and are reused without touching the raw allocator. For an n-layer
+// model with k tensors per layer this performs up to n·k raw allocation
+// operations and then retains all n·k buffers — which is exactly why it
+// cannot serve models whose total buffer set exceeds device memory.
+type CachingAllocator struct {
+	arena    *Arena
+	free     map[int64][]*Block
+	cached   int64 // bytes held in free lists
+	hits     uint64
+	misses   uint64
+	released bool
+}
+
+// NewCachingAllocator wraps arena with a caching layer.
+func NewCachingAllocator(arena *Arena) *CachingAllocator {
+	return &CachingAllocator{arena: arena, free: make(map[int64][]*Block)}
+}
+
+// Get returns a buffer of exactly size bytes, reusing a cached one when
+// available.
+func (c *CachingAllocator) Get(size int64) (*Block, error) {
+	if list := c.free[size]; len(list) > 0 {
+		b := list[len(list)-1]
+		c.free[size] = list[:len(list)-1]
+		c.cached -= size
+		c.hits++
+		return b, nil
+	}
+	c.misses++
+	return c.arena.Alloc(size)
+}
+
+// Put returns a buffer to the cache. The underlying arena bytes stay
+// reserved — the PyTorch behaviour that inflates footprint.
+func (c *CachingAllocator) Put(b *Block) {
+	if b.freed {
+		panic("mem: caching allocator got a freed block")
+	}
+	c.free[b.size] = append(c.free[b.size], b)
+	c.cached += b.size
+}
+
+// CachedBytes returns bytes held in free lists.
+func (c *CachingAllocator) CachedBytes() int64 { return c.cached }
+
+// Hits returns cache-hit count; Misses returns raw allocations.
+func (c *CachingAllocator) Hits() uint64   { return c.hits }
+func (c *CachingAllocator) Misses() uint64 { return c.misses }
+
+// ReleaseAll drops every cached buffer back to the arena (the
+// "empty_cache" escape hatch).
+func (c *CachingAllocator) ReleaseAll() {
+	sizes := make([]int64, 0, len(c.free))
+	for s := range c.free {
+		sizes = append(sizes, s)
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	for _, s := range sizes {
+		for _, b := range c.free[s] {
+			c.arena.Release(b)
+		}
+		delete(c.free, s)
+	}
+	c.cached = 0
+}
+
+// RoundRobinPool is STRONGHOLD's user-level GPU buffer manager
+// (§III-E3): a fixed set of reserved buffers sized for the working
+// window, allocated once at warm-up (m·k raw operations instead of n·k)
+// and recycled round-robin as layers move through the window. Buffers
+// may grow (reallocating) but never shrink, matching the paper's
+// "reserved buffer may grow but not shrink".
+type RoundRobinPool struct {
+	arena   *Arena
+	bufSize int64
+	bufs    []*Block
+	inUse   []bool
+	next    int
+	grows   uint64
+}
+
+// NewRoundRobinPool reserves count buffers of bufSize bytes up front.
+func NewRoundRobinPool(arena *Arena, bufSize int64, count int) (*RoundRobinPool, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("mem: round-robin pool needs positive buffer count, got %d", count)
+	}
+	p := &RoundRobinPool{arena: arena, bufSize: bufSize, inUse: make([]bool, count)}
+	for i := 0; i < count; i++ {
+		b, err := arena.Alloc(bufSize)
+		if err != nil {
+			// Roll back partial reservation so a failed construction
+			// leaves the arena unchanged.
+			for _, ok := range p.bufs {
+				arena.Release(ok)
+			}
+			return nil, fmt.Errorf("mem: reserving window buffer %d/%d: %w", i+1, count, err)
+		}
+		p.bufs = append(p.bufs, b)
+	}
+	return p, nil
+}
+
+// BufSize returns the current per-buffer size.
+func (p *RoundRobinPool) BufSize() int64 { return p.bufSize }
+
+// Count returns the number of reserved buffers.
+func (p *RoundRobinPool) Count() int { return len(p.bufs) }
+
+// Grows returns how many grow operations have occurred.
+func (p *RoundRobinPool) Grows() uint64 { return p.grows }
+
+// Acquire hands out the next free buffer in round-robin order, or an
+// error when every buffer is in use (the window is full).
+func (p *RoundRobinPool) Acquire() (int, error) {
+	for i := 0; i < len(p.bufs); i++ {
+		idx := (p.next + i) % len(p.bufs)
+		if !p.inUse[idx] {
+			p.inUse[idx] = true
+			p.next = (idx + 1) % len(p.bufs)
+			return idx, nil
+		}
+	}
+	return -1, fmt.Errorf("mem: all %d window buffers in use", len(p.bufs))
+}
+
+// Release returns buffer idx to the pool.
+func (p *RoundRobinPool) Release(idx int) {
+	if idx < 0 || idx >= len(p.bufs) {
+		panic(fmt.Sprintf("mem: bad buffer index %d", idx))
+	}
+	if !p.inUse[idx] {
+		panic(fmt.Sprintf("mem: buffer %d released while free", idx))
+	}
+	p.inUse[idx] = false
+}
+
+// InUse returns the number of buffers currently held.
+func (p *RoundRobinPool) InUse() int {
+	n := 0
+	for _, u := range p.inUse {
+		if u {
+			n++
+		}
+	}
+	return n
+}
+
+// Grow reallocates every buffer to newSize when newSize exceeds the
+// current size (no-op otherwise, preserving grow-only semantics). All
+// buffers must be free.
+func (p *RoundRobinPool) Grow(newSize int64) error {
+	if newSize <= p.bufSize {
+		return nil
+	}
+	if p.InUse() != 0 {
+		return fmt.Errorf("mem: cannot grow pool with %d buffers in use", p.InUse())
+	}
+	for i, b := range p.bufs {
+		p.arena.Release(b)
+		nb, err := p.arena.Alloc(newSize)
+		if err != nil {
+			// Restore the old size for the remaining buffers so the
+			// pool stays consistent.
+			restored, rerr := p.arena.Alloc(p.bufSize)
+			if rerr != nil {
+				panic(fmt.Sprintf("mem: pool grow rollback failed: %v", rerr))
+			}
+			p.bufs[i] = restored
+			return fmt.Errorf("mem: growing window buffer %d to %d bytes: %w", i, newSize, err)
+		}
+		p.bufs[i] = nb
+	}
+	p.bufSize = newSize
+	p.grows++
+	return nil
+}
+
+// Destroy releases every reserved buffer back to the arena.
+func (p *RoundRobinPool) Destroy() {
+	for i, b := range p.bufs {
+		if p.inUse[i] {
+			panic(fmt.Sprintf("mem: destroying pool with buffer %d in use", i))
+		}
+		p.arena.Release(b)
+	}
+	p.bufs = nil
+	p.inUse = nil
+}

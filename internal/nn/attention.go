@@ -1,0 +1,175 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"stronghold/internal/autograd"
+	"stronghold/internal/tensor"
+)
+
+// Attention is multi-head causal self-attention with a fused QKV
+// projection, matching the GPT/Megatron block structure.
+type Attention struct {
+	name  string
+	Heads int
+	Wqkv  *autograd.Parameter // [h, 3h]
+	Bqkv  *autograd.Parameter // [3h]
+	Wo    *autograd.Parameter // [h, h]
+	Bo    *autograd.Parameter // [h]
+
+	// caches for backward
+	x, q, k, v, attn, ctxMerged *tensor.Tensor
+}
+
+// NewAttention builds a causal self-attention layer; hidden must be
+// divisible by heads.
+func NewAttention(name string, hidden, heads int, rng *tensor.RNG) *Attention {
+	if hidden%heads != 0 {
+		panic(fmt.Sprintf("nn: hidden %d not divisible by heads %d", hidden, heads))
+	}
+	return &Attention{
+		name:  name,
+		Heads: heads,
+		Wqkv:  autograd.NewParameter(name+".wqkv", tensor.Randn(rng, 0.02, hidden, 3*hidden)),
+		Bqkv:  autograd.NewParameter(name+".bqkv", tensor.Zeros(3*hidden)),
+		Wo:    autograd.NewParameter(name+".wo", tensor.Randn(rng, 0.02, hidden, hidden)),
+		Bo:    autograd.NewParameter(name+".bo", tensor.Zeros(hidden)),
+	}
+}
+
+// Name implements autograd.Module.
+func (a *Attention) Name() string { return a.name }
+
+// Parameters implements autograd.Module.
+func (a *Attention) Parameters() []*autograd.Parameter {
+	return []*autograd.Parameter{a.Wqkv, a.Bqkv, a.Wo, a.Bo}
+}
+
+// negInf is the mask value applied to future positions before softmax.
+const negInf = float32(-1e30)
+
+// Forward computes causal multi-head attention over x [b, s, h].
+func (a *Attention) Forward(x *tensor.Tensor) *tensor.Tensor {
+	b, s, h := x.Dim(0), x.Dim(1), x.Dim(2)
+	a.x = x
+	qkv := tensor.Add(tensor.MatMul(x, a.Wqkv.Value), a.Bqkv.Value) // [b,s,3h]
+	a.q = splitHeads(sliceCols(qkv, 0, h), a.Heads)
+	a.k = splitHeads(sliceCols(qkv, h, h), a.Heads)
+	a.v = splitHeads(sliceCols(qkv, 2*h, h), a.Heads)
+
+	hd := h / a.Heads
+	scale := float32(1 / math.Sqrt(float64(hd)))
+	scores := tensor.BatchedMatMulTransB(a.q, a.k) // [b*nh, s, s]
+	scores.ScaleInPlace(scale)
+	applyCausalMask(scores, s)
+	a.attn = tensor.Softmax(scores)
+	ctx := tensor.BatchedMatMul(a.attn, a.v) // [b*nh, s, hd]
+	a.ctxMerged = mergeHeads(ctx, b, a.Heads)
+	return tensor.Add(tensor.MatMul(a.ctxMerged, a.Wo.Value), a.Bo.Value)
+}
+
+// Backward propagates gradients through the attention computation.
+func (a *Attention) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	b, s, h := a.x.Dim(0), a.x.Dim(1), a.x.Dim(2)
+	hd := h / a.Heads
+
+	// Output projection.
+	a.Wo.AccumulateGrad(tensor.MatMulTransA(a.ctxMerged, dout))
+	a.Bo.AccumulateGrad(tensor.SumRows(dout))
+	dctx := splitHeads(tensor.MatMulTransB(dout, a.Wo.Value), a.Heads)
+
+	// ctx = attn @ v.
+	dattn := tensor.BatchedMatMulTransB(dctx, a.v)
+	dv := tensor.BatchedMatMulTransA(a.attn, dctx)
+
+	// attn = softmax(scores); masked entries have attn==0 so their
+	// gradient vanishes naturally.
+	dscores := tensor.SoftmaxBackward(a.attn, dattn)
+	dscores.ScaleInPlace(float32(1 / math.Sqrt(float64(hd))))
+
+	// scores = q @ k^T.
+	dq := tensor.BatchedMatMul(dscores, a.k)
+	dk := tensor.BatchedMatMulTransA(dscores, a.q)
+
+	// Reassemble the fused QKV gradient [b, s, 3h].
+	dqkv := tensor.New(b, s, 3*h)
+	writeCols(dqkv, mergeHeads(dq, b, a.Heads), 0)
+	writeCols(dqkv, mergeHeads(dk, b, a.Heads), h)
+	writeCols(dqkv, mergeHeads(dv, b, a.Heads), 2*h)
+
+	a.Wqkv.AccumulateGrad(tensor.MatMulTransA(a.x, dqkv))
+	a.Bqkv.AccumulateGrad(tensor.SumRows(dqkv))
+	return tensor.MatMulTransB(dqkv, a.Wqkv.Value)
+}
+
+// applyCausalMask sets scores[*, i, j] to -inf for j > i.
+func applyCausalMask(scores *tensor.Tensor, s int) {
+	batch := scores.Dim(0)
+	d := scores.Data()
+	for bi := 0; bi < batch; bi++ {
+		base := bi * s * s
+		for i := 0; i < s; i++ {
+			row := d[base+i*s : base+(i+1)*s]
+			for j := i + 1; j < s; j++ {
+				row[j] = negInf
+			}
+		}
+	}
+}
+
+// sliceCols extracts contiguous columns [start, start+width) from the
+// last dimension of t [b, s, c], producing [b, s, width].
+func sliceCols(t *tensor.Tensor, start, width int) *tensor.Tensor {
+	b, s, c := t.Dim(0), t.Dim(1), t.Dim(2)
+	out := tensor.New(b, s, width)
+	for r := 0; r < b*s; r++ {
+		copy(out.Data()[r*width:(r+1)*width], t.Data()[r*c+start:r*c+start+width])
+	}
+	return out
+}
+
+// writeCols copies src [b, s, w] into dst [b, s, c] at column offset
+// start.
+func writeCols(dst, src *tensor.Tensor, start int) {
+	b, s, c := dst.Dim(0), dst.Dim(1), dst.Dim(2)
+	w := src.Dim(2)
+	for r := 0; r < b*s; r++ {
+		copy(dst.Data()[r*c+start:r*c+start+w], src.Data()[r*w:(r+1)*w])
+	}
+}
+
+// splitHeads reshapes [b, s, h] into [b*nh, s, h/nh] with head-major
+// batching.
+func splitHeads(t *tensor.Tensor, nh int) *tensor.Tensor {
+	b, s, h := t.Dim(0), t.Dim(1), t.Dim(2)
+	hd := h / nh
+	out := tensor.New(b*nh, s, hd)
+	for bi := 0; bi < b; bi++ {
+		for hi := 0; hi < nh; hi++ {
+			for si := 0; si < s; si++ {
+				src := t.Data()[(bi*s+si)*h+hi*hd : (bi*s+si)*h+(hi+1)*hd]
+				dst := out.Data()[((bi*nh+hi)*s+si)*hd : ((bi*nh+hi)*s+si+1)*hd]
+				copy(dst, src)
+			}
+		}
+	}
+	return out
+}
+
+// mergeHeads is the inverse of splitHeads: [b*nh, s, hd] → [b, s, nh*hd].
+func mergeHeads(t *tensor.Tensor, b int, nh int) *tensor.Tensor {
+	s, hd := t.Dim(1), t.Dim(2)
+	h := nh * hd
+	out := tensor.New(b, s, h)
+	for bi := 0; bi < b; bi++ {
+		for hi := 0; hi < nh; hi++ {
+			for si := 0; si < s; si++ {
+				src := t.Data()[((bi*nh+hi)*s+si)*hd : ((bi*nh+hi)*s+si+1)*hd]
+				dst := out.Data()[(bi*s+si)*h+hi*hd : (bi*s+si)*h+(hi+1)*hd]
+				copy(dst, src)
+			}
+		}
+	}
+	return out
+}

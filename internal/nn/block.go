@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"stronghold/internal/autograd"
+	"stronghold/internal/tensor"
+)
+
+// MLP is the Transformer feed-forward sub-layer:
+// Linear(h → 4h) → GELU → Linear(4h → h). The 4× expansion gives the
+// 8·h² FFN parameter term in the paper's §III-F communication model.
+type MLP struct {
+	name string
+	Fc   *Linear
+	Proj *Linear
+
+	pre *tensor.Tensor // cached pre-GELU activation
+}
+
+// NewMLP builds the two-layer feed-forward block.
+func NewMLP(name string, hidden int, rng *tensor.RNG) *MLP {
+	return &MLP{
+		name: name,
+		Fc:   NewLinear(name+".fc", hidden, 4*hidden, rng),
+		Proj: NewLinear(name+".proj", 4*hidden, hidden, rng),
+	}
+}
+
+// Name implements autograd.Module.
+func (m *MLP) Name() string { return m.name }
+
+// Parameters implements autograd.Module.
+func (m *MLP) Parameters() []*autograd.Parameter {
+	return append(m.Fc.Parameters(), m.Proj.Parameters()...)
+}
+
+// Forward computes Proj(GELU(Fc(x))).
+func (m *MLP) Forward(x *tensor.Tensor) *tensor.Tensor {
+	m.pre = m.Fc.Forward(x)
+	return m.Proj.Forward(tensor.GELU(m.pre))
+}
+
+// Backward propagates through the projection, GELU and expansion.
+func (m *MLP) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dact := m.Proj.Backward(dout)
+	dpre := tensor.GELUBackward(m.pre, dact)
+	return m.Fc.Backward(dpre)
+}
+
+// TransformerBlock is a pre-norm GPT block:
+//
+//	x = x + Attention(LN1(x))
+//	x = x + MLP(LN2(x))
+//
+// One block is the paper's basic offloading unit (§III-C): the working
+// window holds m of these.
+type TransformerBlock struct {
+	name string
+	Ln1  *LayerNorm
+	Attn *Attention
+	Ln2  *LayerNorm
+	Mlp  *MLP
+}
+
+// NewTransformerBlock builds one pre-norm block.
+func NewTransformerBlock(name string, hidden, heads int, rng *tensor.RNG) *TransformerBlock {
+	return &TransformerBlock{
+		name: name,
+		Ln1:  NewLayerNorm(name+".ln1", hidden),
+		Attn: NewAttention(name+".attn", hidden, heads, rng),
+		Ln2:  NewLayerNorm(name+".ln2", hidden),
+		Mlp:  NewMLP(name+".mlp", hidden, rng),
+	}
+}
+
+// Name implements autograd.Module.
+func (b *TransformerBlock) Name() string { return b.name }
+
+// Parameters implements autograd.Module.
+func (b *TransformerBlock) Parameters() []*autograd.Parameter {
+	ps := b.Ln1.Parameters()
+	ps = append(ps, b.Attn.Parameters()...)
+	ps = append(ps, b.Ln2.Parameters()...)
+	ps = append(ps, b.Mlp.Parameters()...)
+	return ps
+}
+
+// Forward runs both residual sub-layers.
+func (b *TransformerBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
+	x = tensor.Add(x, b.Attn.Forward(b.Ln1.Forward(x)))
+	return tensor.Add(x, b.Mlp.Forward(b.Ln2.Forward(x)))
+}
+
+// Backward propagates through both residual sub-layers.
+func (b *TransformerBlock) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	// Second residual: d(x + MLP(LN2(x))) — the residual path passes
+	// dout through unchanged; the sub-layer path adds its contribution.
+	dx := dout.Clone()
+	dx.AddScaled(1, b.Ln2.Backward(b.Mlp.Backward(dout)))
+	// First residual.
+	dres := dx.Clone()
+	dres.AddScaled(1, b.Ln1.Backward(b.Attn.Backward(dx)))
+	return dres
+}

@@ -1,0 +1,128 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"stronghold/internal/autograd"
+)
+
+// Checkpoint format: a small binary container holding named parameter
+// tensors (and optionally optimizer moments), independent of model
+// structure so it can round-trip through any io.Reader/Writer.
+//
+//	magic "SHCKPT01" | uint32 count | count × entry
+//	entry: uint32 nameLen | name | uint32 valLen | float32 values
+const checkpointMagic = "SHCKPT01"
+
+// SaveParameters writes all parameters to w in checkpoint format.
+func SaveParameters(w io.Writer, params []*autograd.Parameter) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(checkpointMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := writeEntry(bw, p.Name, p.Value.Data()); err != nil {
+			return fmt.Errorf("nn: saving %s: %w", p.Name, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadParameters restores parameter values from r. Every checkpoint
+// entry must match a parameter by name and size; missing or extra
+// entries are errors (silent partial restores corrupt training).
+func LoadParameters(r io.Reader, params []*autograd.Parameter) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("nn: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return fmt.Errorf("nn: bad checkpoint magic %q", magic)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: checkpoint holds %d tensors, model has %d", count, len(params))
+	}
+	byName := make(map[string]*autograd.Parameter, len(params))
+	for _, p := range params {
+		if _, dup := byName[p.Name]; dup {
+			return fmt.Errorf("nn: duplicate parameter name %q", p.Name)
+		}
+		byName[p.Name] = p
+	}
+	for i := uint32(0); i < count; i++ {
+		name, vals, err := readEntry(br)
+		if err != nil {
+			return fmt.Errorf("nn: reading entry %d: %w", i, err)
+		}
+		p, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("nn: checkpoint tensor %q not in model", name)
+		}
+		if len(vals) != p.Value.Size() {
+			return fmt.Errorf("nn: %q has %d values, model wants %d", name, len(vals), p.Value.Size())
+		}
+		copy(p.Value.Data(), vals)
+		delete(byName, name)
+	}
+	return nil
+}
+
+func writeEntry(w io.Writer, name string, vals []float32) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(name))); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, name); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(vals))); err != nil {
+		return err
+	}
+	buf := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readEntry(r io.Reader) (string, []float32, error) {
+	var nameLen uint32
+	if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+		return "", nil, err
+	}
+	if nameLen > 1<<16 {
+		return "", nil, fmt.Errorf("implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return "", nil, err
+	}
+	var valLen uint32
+	if err := binary.Read(r, binary.LittleEndian, &valLen); err != nil {
+		return "", nil, err
+	}
+	if valLen > 1<<28 {
+		return "", nil, fmt.Errorf("implausible tensor length %d", valLen)
+	}
+	buf := make([]byte, 4*valLen)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", nil, err
+	}
+	vals := make([]float32, valLen)
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return string(name), vals, nil
+}

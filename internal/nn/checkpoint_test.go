@@ -1,0 +1,151 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"stronghold/internal/tensor"
+)
+
+func checkpointModel(t *testing.T, seed uint64) *GPT {
+	t.Helper()
+	g, err := NewGPT(GPTConfig{Vocab: 19, MaxSeq: 8, Hidden: 8, Heads: 2, Layers: 2, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	src := checkpointModel(t, 1)
+	var buf bytes.Buffer
+	if err := SaveParameters(&buf, src.Parameters()); err != nil {
+		t.Fatal(err)
+	}
+	dst := checkpointModel(t, 2) // different init
+	if err := LoadParameters(&buf, dst.Parameters()); err != nil {
+		t.Fatal(err)
+	}
+	sp, dp := src.Parameters(), dst.Parameters()
+	for i := range sp {
+		if !sp[i].Value.Equal(dp[i].Value) {
+			t.Fatalf("parameter %s differs after round trip", sp[i].Name)
+		}
+	}
+}
+
+func TestCheckpointRestoredModelBehavesIdentically(t *testing.T) {
+	src := checkpointModel(t, 3)
+	ids := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 4)
+	want := src.Forward(ids)
+
+	var buf bytes.Buffer
+	if err := SaveParameters(&buf, src.Parameters()); err != nil {
+		t.Fatal(err)
+	}
+	dst := checkpointModel(t, 4)
+	if err := LoadParameters(&buf, dst.Parameters()); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Forward(ids).Equal(want) {
+		t.Fatal("restored model computes different logits")
+	}
+}
+
+func TestCheckpointBadMagic(t *testing.T) {
+	g := checkpointModel(t, 5)
+	if err := LoadParameters(strings.NewReader("NOTACKPT plus junk"), g.Parameters()); err == nil {
+		t.Fatal("bad magic must be rejected")
+	}
+}
+
+func TestCheckpointTruncated(t *testing.T) {
+	src := checkpointModel(t, 6)
+	var buf bytes.Buffer
+	if err := SaveParameters(&buf, src.Parameters()); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()/2]
+	if err := LoadParameters(bytes.NewReader(cut), src.Parameters()); err == nil {
+		t.Fatal("truncated checkpoint must be rejected")
+	}
+}
+
+func TestCheckpointCountMismatch(t *testing.T) {
+	src := checkpointModel(t, 7)
+	var buf bytes.Buffer
+	if err := SaveParameters(&buf, src.Parameters()); err != nil {
+		t.Fatal(err)
+	}
+	// A model with a different layer count has a different parameter
+	// set.
+	other, err := NewGPT(GPTConfig{Vocab: 19, MaxSeq: 8, Hidden: 8, Heads: 2, Layers: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParameters(&buf, other.Parameters()); err == nil {
+		t.Fatal("parameter-count mismatch must be rejected")
+	}
+}
+
+func TestCheckpointSizeMismatch(t *testing.T) {
+	src := checkpointModel(t, 8)
+	var buf bytes.Buffer
+	if err := SaveParameters(&buf, src.Parameters()); err != nil {
+		t.Fatal(err)
+	}
+	// Same parameter count and names but a different hidden width.
+	other, err := NewGPT(GPTConfig{Vocab: 19, MaxSeq: 8, Hidden: 16, Heads: 2, Layers: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParameters(&buf, other.Parameters()); err == nil {
+		t.Fatal("tensor-size mismatch must be rejected")
+	}
+}
+
+// TestCheckpointCorruptionRobust mutates checkpoint bytes at every
+// position class and requires the loader to fail cleanly (error, no
+// panic) or — for value-only mutations — load different values without
+// corruption of structure.
+func TestCheckpointCorruptionRobust(t *testing.T) {
+	src := checkpointModel(t, 9)
+	var buf bytes.Buffer
+	if err := SaveParameters(&buf, src.Parameters()); err != nil {
+		t.Fatal(err)
+	}
+	base := buf.Bytes()
+	rng := tensor.NewRNG(123)
+	for trial := 0; trial < 200; trial++ {
+		mutated := append([]byte(nil), base...)
+		pos := rng.Intn(len(mutated))
+		mutated[pos] ^= byte(1 + rng.Intn(255))
+		dst := checkpointModel(t, 10)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: loader panicked on corrupt byte %d: %v", trial, pos, r)
+				}
+			}()
+			_ = LoadParameters(bytes.NewReader(mutated), dst.Parameters())
+		}()
+	}
+}
+
+// TestCheckpointTruncationRobust truncates at every length and requires
+// clean errors.
+func TestCheckpointTruncationRobust(t *testing.T) {
+	src := checkpointModel(t, 11)
+	var buf bytes.Buffer
+	if err := SaveParameters(&buf, src.Parameters()); err != nil {
+		t.Fatal(err)
+	}
+	base := buf.Bytes()
+	for cut := 0; cut < len(base)-1; cut += 97 {
+		dst := checkpointModel(t, 12)
+		if err := LoadParameters(bytes.NewReader(base[:cut]), dst.Parameters()); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package nn
+
+import (
+	"fmt"
+
+	"stronghold/internal/autograd"
+	"stronghold/internal/tensor"
+)
+
+// Embedding maps token ids to vectors and adds learned positional
+// embeddings — the GPT input layer. Per the paper (Figure 3) this layer
+// stays resident in GPU memory; STRONGHOLD never offloads it.
+//
+// Token ids arrive as a float32 tensor of shape [batch, seq] holding
+// integral values, so Embedding satisfies the uniform Module interface.
+type Embedding struct {
+	name string
+	Wte  *autograd.Parameter // [vocab, hidden] token embeddings
+	Wpe  *autograd.Parameter // [maxSeq, hidden] positional embeddings
+
+	ids *tensor.Tensor
+}
+
+// NewEmbedding builds token + positional embedding tables.
+func NewEmbedding(name string, vocab, maxSeq, hidden int, rng *tensor.RNG) *Embedding {
+	return &Embedding{
+		name: name,
+		Wte:  autograd.NewParameter(name+".wte", tensor.Randn(rng, 0.02, vocab, hidden)),
+		Wpe:  autograd.NewParameter(name+".wpe", tensor.Randn(rng, 0.01, maxSeq, hidden)),
+	}
+}
+
+// Name implements autograd.Module.
+func (e *Embedding) Name() string { return e.name }
+
+// Parameters implements autograd.Module.
+func (e *Embedding) Parameters() []*autograd.Parameter {
+	return []*autograd.Parameter{e.Wte, e.Wpe}
+}
+
+// Forward gathers token embeddings and adds positional rows, producing
+// [batch, seq, hidden].
+func (e *Embedding) Forward(ids *tensor.Tensor) *tensor.Tensor {
+	if ids.Rank() != 2 {
+		panic(fmt.Sprintf("nn: %s wants [batch, seq] ids, got %v", e.name, ids.Shape()))
+	}
+	b, s := ids.Dim(0), ids.Dim(1)
+	h := e.Wte.Value.Dim(1)
+	vocab := e.Wte.Value.Dim(0)
+	if s > e.Wpe.Value.Dim(0) {
+		panic(fmt.Sprintf("nn: %s sequence %d exceeds max %d", e.name, s, e.Wpe.Value.Dim(0)))
+	}
+	e.ids = ids
+	out := tensor.New(b, s, h)
+	for bi := 0; bi < b; bi++ {
+		for si := 0; si < s; si++ {
+			id := int(ids.At(bi, si))
+			if id < 0 || id >= vocab {
+				panic(fmt.Sprintf("nn: %s token id %d out of vocab %d", e.name, id, vocab))
+			}
+			te := e.Wte.Value.Data()[id*h : (id+1)*h]
+			pe := e.Wpe.Value.Data()[si*h : (si+1)*h]
+			o := out.Data()[(bi*s+si)*h : (bi*s+si+1)*h]
+			for i := range o {
+				o[i] = te[i] + pe[i]
+			}
+		}
+	}
+	return out
+}
+
+// Backward scatters dout rows into the embedding tables. The returned
+// input gradient is a zero tensor (token ids are not differentiable).
+func (e *Embedding) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	b, s := e.ids.Dim(0), e.ids.Dim(1)
+	h := e.Wte.Value.Dim(1)
+	dte := tensor.New(e.Wte.Value.Shape()...)
+	dpe := tensor.New(e.Wpe.Value.Shape()...)
+	for bi := 0; bi < b; bi++ {
+		for si := 0; si < s; si++ {
+			id := int(e.ids.At(bi, si))
+			d := dout.Data()[(bi*s+si)*h : (bi*s+si+1)*h]
+			te := dte.Data()[id*h : (id+1)*h]
+			pe := dpe.Data()[si*h : (si+1)*h]
+			for i := range d {
+				te[i] += d[i]
+				pe[i] += d[i]
+			}
+		}
+	}
+	e.Wte.AccumulateGrad(dte)
+	e.Wpe.AccumulateGrad(dpe)
+	return tensor.New(b, s)
+}

@@ -1,0 +1,83 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"stronghold/internal/tensor"
+)
+
+// Generate autoregressively samples continuation tokens from the model
+// given a prompt, using temperature sampling (temperature 0 = greedy).
+// It is the serving counterpart of training: each step runs a full
+// forward pass over the current context (no KV cache — the functional
+// path optimizes for clarity, and the windowed variant in core handles
+// the memory story).
+func (g *GPT) Generate(prompt []int, n int, temperature float64, rng *tensor.RNG) ([]int, error) {
+	if len(prompt) == 0 {
+		return nil, fmt.Errorf("nn: empty prompt")
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("nn: negative generation length")
+	}
+	for _, id := range prompt {
+		if id < 0 || id >= g.Config.Vocab {
+			return nil, fmt.Errorf("nn: prompt token %d out of vocab %d", id, g.Config.Vocab)
+		}
+	}
+	ctx := append([]int(nil), prompt...)
+	out := make([]int, 0, n)
+	for step := 0; step < n; step++ {
+		window := ctx
+		if len(window) > g.Config.MaxSeq {
+			window = window[len(window)-g.Config.MaxSeq:]
+		}
+		ids := tensor.New(1, len(window))
+		for i, id := range window {
+			ids.Set(float32(id), 0, i)
+		}
+		logits := g.Forward(ids)
+		v := g.Config.Vocab
+		last := logits.Data()[(len(window)-1)*v : len(window)*v]
+		next := sampleLogits(last, temperature, rng)
+		ctx = append(ctx, next)
+		out = append(out, next)
+	}
+	return out, nil
+}
+
+// sampleLogits draws a token from softmax(logits/temperature); greedy
+// when temperature <= 0.
+func sampleLogits(logits []float32, temperature float64, rng *tensor.RNG) int {
+	if temperature <= 0 {
+		best, bestV := 0, logits[0]
+		for i, v := range logits[1:] {
+			if v > bestV {
+				best, bestV = i+1, v
+			}
+		}
+		return best
+	}
+	// Stable softmax at the given temperature.
+	maxv := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	probs := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		probs[i] = math.Exp(float64(v-maxv) / temperature)
+		sum += probs[i]
+	}
+	r := rng.Float64() * sum
+	var acc float64
+	for i, p := range probs {
+		acc += p
+		if r < acc {
+			return i
+		}
+	}
+	return len(logits) - 1
+}

@@ -1,0 +1,174 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"stronghold/internal/autograd"
+	"stronghold/internal/tensor"
+)
+
+// GPTConfig describes a GPT-style language model for the functional
+// (real-math) path. Paper-scale models use modelcfg instead; this type
+// is for the small models we actually train in tests and examples.
+type GPTConfig struct {
+	Vocab  int // vocabulary size
+	MaxSeq int // maximum sequence length
+	Hidden int // hidden width
+	Heads  int // attention heads
+	Layers int // Transformer blocks
+	Seed   uint64
+}
+
+// Validate reports configuration errors.
+func (c GPTConfig) Validate() error {
+	switch {
+	case c.Vocab <= 0:
+		return fmt.Errorf("nn: vocab must be positive, got %d", c.Vocab)
+	case c.MaxSeq <= 0:
+		return fmt.Errorf("nn: maxSeq must be positive, got %d", c.MaxSeq)
+	case c.Hidden <= 0 || c.Heads <= 0 || c.Hidden%c.Heads != 0:
+		return fmt.Errorf("nn: hidden %d must be a positive multiple of heads %d", c.Hidden, c.Heads)
+	case c.Layers <= 0:
+		return fmt.Errorf("nn: layers must be positive, got %d", c.Layers)
+	}
+	return nil
+}
+
+// GPT is a decoder-only Transformer language model. The embedding and
+// head stay "resident" (the paper keeps first and last layers in GPU
+// memory); Blocks is the Sequential the STRONGHOLD runtime offloads.
+type GPT struct {
+	Config    GPTConfig
+	Embed     *Embedding
+	Blocks    *autograd.Sequential
+	FinalNorm *LayerNorm
+	Head      *Linear
+
+	// caches
+	hidden *tensor.Tensor // final-norm output, cached for head backward
+	probs  *tensor.Tensor // softmax(logits), cached for loss backward
+	tgt    *tensor.Tensor
+}
+
+// NewGPT constructs a GPT model with deterministic initialization from
+// cfg.Seed.
+func NewGPT(cfg GPTConfig) (*GPT, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(cfg.Seed + 1)
+	blocks := make([]autograd.Module, cfg.Layers)
+	for i := range blocks {
+		blocks[i] = NewTransformerBlock(fmt.Sprintf("block%d", i), cfg.Hidden, cfg.Heads, rng)
+	}
+	return &GPT{
+		Config:    cfg,
+		Embed:     NewEmbedding("embed", cfg.Vocab, cfg.MaxSeq, cfg.Hidden, rng),
+		Blocks:    autograd.NewSequential(blocks...),
+		FinalNorm: NewLayerNorm("final_norm", cfg.Hidden),
+		Head:      NewLinear("head", cfg.Hidden, cfg.Vocab, rng),
+	}, nil
+}
+
+// Parameters returns every trainable parameter, resident layers first.
+func (g *GPT) Parameters() []*autograd.Parameter {
+	ps := g.Embed.Parameters()
+	ps = append(ps, g.Blocks.Parameters()...)
+	ps = append(ps, g.FinalNorm.Parameters()...)
+	ps = append(ps, g.Head.Parameters()...)
+	return ps
+}
+
+// NumParams returns the total scalar parameter count.
+func (g *GPT) NumParams() int64 {
+	var n int64
+	for _, p := range g.Parameters() {
+		n += int64(p.NumParams())
+	}
+	return n
+}
+
+// ZeroGrad clears every parameter gradient.
+func (g *GPT) ZeroGrad() {
+	for _, p := range g.Parameters() {
+		p.ZeroGrad()
+	}
+}
+
+// Forward runs the model on ids [batch, seq] and returns logits
+// [batch, seq, vocab].
+func (g *GPT) Forward(ids *tensor.Tensor) *tensor.Tensor {
+	x := g.Embed.Forward(ids)
+	x = g.Blocks.Forward(x)
+	g.hidden = g.FinalNorm.Forward(x)
+	return g.Head.Forward(g.hidden)
+}
+
+// Loss computes the mean next-token cross-entropy of logits against
+// integer targets [batch, seq], caching what LossBackward needs.
+func (g *GPT) Loss(logits, targets *tensor.Tensor) float64 {
+	b, s, v := logits.Dim(0), logits.Dim(1), logits.Dim(2)
+	if targets.Dim(0) != b || targets.Dim(1) != s {
+		panic(fmt.Sprintf("nn: target shape %v does not match logits %v", targets.Shape(), logits.Shape()))
+	}
+	g.probs = tensor.Softmax(logits)
+	g.tgt = targets
+	var loss float64
+	for r := 0; r < b*s; r++ {
+		id := int(targets.Data()[r])
+		if id < 0 || id >= v {
+			panic(fmt.Sprintf("nn: target id %d out of vocab %d", id, v))
+		}
+		p := float64(g.probs.Data()[r*v+id])
+		loss -= math.Log(math.Max(p, 1e-12))
+	}
+	return loss / float64(b*s)
+}
+
+// LossBackward returns dL/dlogits = (softmax − onehot)/N for the cached
+// loss computation.
+func (g *GPT) LossBackward() *tensor.Tensor {
+	if g.probs == nil {
+		panic("nn: LossBackward before Loss")
+	}
+	b, s := g.tgt.Dim(0), g.tgt.Dim(1)
+	v := g.probs.Dim(-1)
+	n := float32(b * s)
+	dlogits := g.probs.Clone()
+	for r := 0; r < b*s; r++ {
+		id := int(g.tgt.Data()[r])
+		dlogits.Data()[r*v+id] -= 1
+	}
+	dlogits.ScaleInPlace(1 / n)
+	return dlogits
+}
+
+// Backward propagates dlogits through head, final norm, blocks and
+// embedding.
+func (g *GPT) Backward(dlogits *tensor.Tensor) {
+	dh := g.Head.Backward(dlogits)
+	dx := g.FinalNorm.Backward(dh)
+	dx = g.Blocks.Backward(dx)
+	g.Embed.Backward(dx)
+}
+
+// TrainStep runs one full forward+loss+backward pass and returns the
+// loss. The caller applies the optimizer.
+func (g *GPT) TrainStep(ids, targets *tensor.Tensor) float64 {
+	return g.TrainStepScaled(ids, targets, 1)
+}
+
+// TrainStepScaled is TrainStep with the loss gradient scaled by scale —
+// the building block of gradient accumulation, where each of k
+// micro-batches contributes 1/k of the batch gradient.
+func (g *GPT) TrainStepScaled(ids, targets *tensor.Tensor, scale float32) float64 {
+	logits := g.Forward(ids)
+	loss := g.Loss(logits, targets)
+	d := g.LossBackward()
+	if scale != 1 {
+		d.ScaleInPlace(scale)
+	}
+	g.Backward(d)
+	return loss
+}

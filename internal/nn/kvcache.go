@@ -1,0 +1,148 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"stronghold/internal/tensor"
+)
+
+// KV-cached incremental decoding: after a prefill pass over the prompt,
+// each new token attends against cached keys/values instead of
+// re-running the whole context — O(t) per token instead of O(t²). The
+// serving-side counterpart of the training stack, and what a production
+// deployment of the distillation mode (§VI-D3) would run.
+
+// kvEntry is one block's cached attention state.
+type kvEntry struct {
+	k, v *tensor.Tensor // [b*nh, t, hd]
+}
+
+// KVCache holds per-block attention state across decode steps.
+type KVCache struct {
+	entries []kvEntry
+	length  int // tokens cached so far
+}
+
+// Len returns the number of cached positions.
+func (c *KVCache) Len() int { return c.length }
+
+// decodeStep runs one token (at absolute position pos) through the
+// model using and extending the cache, returning the logits row.
+func (g *GPT) decodeStep(token, pos int, cache *KVCache) (*tensor.Tensor, error) {
+	h := g.Config.Hidden
+	// Embed a single token at its absolute position.
+	x := tensor.New(1, 1, h)
+	te := g.Embed.Wte.Value.Data()[token*h : (token+1)*h]
+	pe := g.Embed.Wpe.Value.Data()[pos*h : (pos+1)*h]
+	for i := 0; i < h; i++ {
+		x.Data()[i] = te[i] + pe[i]
+	}
+	for bi, l := range g.Blocks.Layers() {
+		blk, ok := l.(*TransformerBlock)
+		if !ok {
+			return nil, fmt.Errorf("nn: cached decoding supports TransformerBlock stacks only (block %d is %T)", bi, l)
+		}
+		x = blk.forwardCached(x, &cache.entries[bi])
+	}
+	hOut := g.FinalNorm.Forward(x)
+	return g.Head.Forward(hOut), nil
+}
+
+// forwardCached runs one block on a single-token input, extending the
+// cache.
+func (b *TransformerBlock) forwardCached(x *tensor.Tensor, e *kvEntry) *tensor.Tensor {
+	x = tensor.Add(x, b.Attn.forwardCached(b.Ln1.Forward(x), e))
+	return tensor.Add(x, b.Mlp.Forward(b.Ln2.Forward(x)))
+}
+
+// forwardCached computes attention for one new token against the cached
+// context (plus itself); no mask is needed because the newest position
+// may attend everything before it.
+func (a *Attention) forwardCached(x *tensor.Tensor, e *kvEntry) *tensor.Tensor {
+	h := x.Dim(2)
+	qkv := tensor.Add(tensor.MatMul(x, a.Wqkv.Value), a.Bqkv.Value)
+	q := splitHeads(sliceCols(qkv, 0, h), a.Heads)      // [nh, 1, hd]
+	kNew := splitHeads(sliceCols(qkv, h, h), a.Heads)   // [nh, 1, hd]
+	vNew := splitHeads(sliceCols(qkv, 2*h, h), a.Heads) // [nh, 1, hd]
+	e.k = appendSeq(e.k, kNew)
+	e.v = appendSeq(e.v, vNew)
+
+	hd := h / a.Heads
+	scores := tensor.BatchedMatMulTransB(q, e.k) // [nh, 1, t]
+	scores.ScaleInPlace(float32(1 / math.Sqrt(float64(hd))))
+	attn := tensor.Softmax(scores)
+	ctx := tensor.BatchedMatMul(attn, e.v) // [nh, 1, hd]
+	merged := mergeHeads(ctx, 1, a.Heads)
+	return tensor.Add(tensor.MatMul(merged, a.Wo.Value), a.Bo.Value)
+}
+
+// appendSeq concatenates along the sequence (middle) dimension of
+// [batch, t, hd] tensors.
+func appendSeq(acc, add *tensor.Tensor) *tensor.Tensor {
+	if acc == nil {
+		return add.Clone()
+	}
+	b, t, hd := acc.Dim(0), acc.Dim(1), acc.Dim(2)
+	out := tensor.New(b, t+1, hd)
+	for bi := 0; bi < b; bi++ {
+		copy(out.Data()[bi*(t+1)*hd:bi*(t+1)*hd+t*hd], acc.Data()[bi*t*hd:(bi+1)*t*hd])
+		copy(out.Data()[bi*(t+1)*hd+t*hd:(bi+1)*(t+1)*hd], add.Data()[bi*hd:(bi+1)*hd])
+	}
+	return out
+}
+
+// GenerateFast is Generate with KV caching: a prefill pass over the
+// prompt followed by O(context) incremental decode steps. The prompt
+// plus generated tokens must fit MaxSeq (no sliding window in cached
+// mode). Greedy decoding matches Generate token-for-token.
+func (g *GPT) GenerateFast(prompt []int, n int, temperature float64, rng *tensor.RNG) ([]int, error) {
+	if len(prompt) == 0 {
+		return nil, fmt.Errorf("nn: empty prompt")
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("nn: negative generation length")
+	}
+	if len(prompt)+n > g.Config.MaxSeq {
+		return nil, fmt.Errorf("nn: prompt %d + generation %d exceeds context %d",
+			len(prompt), n, g.Config.MaxSeq)
+	}
+	for _, id := range prompt {
+		if id < 0 || id >= g.Config.Vocab {
+			return nil, fmt.Errorf("nn: prompt token %d out of vocab %d", id, g.Config.Vocab)
+		}
+	}
+	// Prefill: a full forward pass, harvesting each block's K/V.
+	ids := tensor.New(1, len(prompt))
+	for i, id := range prompt {
+		ids.Set(float32(id), 0, i)
+	}
+	logits := g.Forward(ids)
+	cache := &KVCache{entries: make([]kvEntry, g.Blocks.Len()), length: len(prompt)}
+	for bi, l := range g.Blocks.Layers() {
+		blk, ok := l.(*TransformerBlock)
+		if !ok {
+			return nil, fmt.Errorf("nn: cached decoding supports TransformerBlock stacks only (block %d is %T)", bi, l)
+		}
+		cache.entries[bi] = kvEntry{k: blk.Attn.k.Clone(), v: blk.Attn.v.Clone()}
+	}
+	v := g.Config.Vocab
+	last := logits.Data()[(len(prompt)-1)*v : len(prompt)*v]
+	out := make([]int, 0, n)
+	pos := len(prompt)
+	for step := 0; step < n; step++ {
+		next := sampleLogits(last, temperature, rng)
+		out = append(out, next)
+		if step == n-1 {
+			break
+		}
+		row, err := g.decodeStep(next, pos, cache)
+		if err != nil {
+			return nil, err
+		}
+		cache.length++
+		pos++
+		last = row.Data()
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"testing"
+
+	"stronghold/internal/autograd"
+	"stronghold/internal/tensor"
+)
+
+func kvModel(t *testing.T) *GPT {
+	t.Helper()
+	g, err := NewGPT(GPTConfig{Vocab: 29, MaxSeq: 32, Hidden: 16, Heads: 2, Layers: 3, Seed: 81})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGenerateFastMatchesGenerateGreedy(t *testing.T) {
+	g := kvModel(t)
+	prompt := []int{1, 7, 3, 14}
+	slow, err := g.Generate(prompt, 10, 0, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := g.GenerateFast(prompt, 10, 0, tensor.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range slow {
+		if slow[i] != fast[i] {
+			t.Fatalf("token %d: cached %d vs full %d (slow=%v fast=%v)", i, fast[i], slow[i], slow, fast)
+		}
+	}
+}
+
+func TestGenerateFastSampledMatchesWithSameRNG(t *testing.T) {
+	// With temperature sampling both paths draw from the same logits
+	// distribution; identical RNG streams must produce identical
+	// tokens because the logits match.
+	g := kvModel(t)
+	prompt := []int{2, 4, 6}
+	slow, err := g.Generate(prompt, 8, 0.9, tensor.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := g.GenerateFast(prompt, 8, 0.9, tensor.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range slow {
+		if slow[i] != fast[i] {
+			t.Fatalf("sampled divergence at %d: %v vs %v", i, slow, fast)
+		}
+	}
+}
+
+func TestGenerateFastValidation(t *testing.T) {
+	g := kvModel(t)
+	rng := tensor.NewRNG(1)
+	if _, err := g.GenerateFast(nil, 3, 0, rng); err == nil {
+		t.Fatal("empty prompt must error")
+	}
+	if _, err := g.GenerateFast([]int{99}, 3, 0, rng); err == nil {
+		t.Fatal("out-of-vocab must error")
+	}
+	if _, err := g.GenerateFast([]int{1}, -1, 0, rng); err == nil {
+		t.Fatal("negative length must error")
+	}
+	if _, err := g.GenerateFast([]int{1, 2}, 31, 0, rng); err == nil {
+		t.Fatal("beyond-context generation must error in cached mode")
+	}
+}
+
+func TestGenerateFastRejectsNonBlockStacks(t *testing.T) {
+	g := kvModel(t)
+	moe := NewMoE("moe", 16, 2, tensor.NewRNG(2))
+	g.Blocks = autograd.NewSequential(append(g.Blocks.Layers(), moe)...)
+	if _, err := g.GenerateFast([]int{1, 2}, 3, 0, tensor.NewRNG(1)); err == nil {
+		t.Fatal("MoE stacks must be rejected by the cached path")
+	}
+}
+
+func BenchmarkGenerateFull(b *testing.B) {
+	g, _ := NewGPT(GPTConfig{Vocab: 64, MaxSeq: 128, Hidden: 32, Heads: 4, Layers: 4, Seed: 9})
+	prompt := []int{1, 2, 3, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Generate(prompt, 32, 0, tensor.NewRNG(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateKVCached(b *testing.B) {
+	g, _ := NewGPT(GPTConfig{Vocab: 64, MaxSeq: 128, Hidden: 32, Heads: 4, Layers: 4, Seed: 9})
+	prompt := []int{1, 2, 3, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.GenerateFast(prompt, 32, 0, tensor.NewRNG(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

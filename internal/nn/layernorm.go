@@ -1,0 +1,52 @@
+package nn
+
+import (
+	"stronghold/internal/autograd"
+	"stronghold/internal/tensor"
+)
+
+// LayerNorm normalizes the last dimension and applies a learned affine
+// transform, as used before attention and MLP sub-layers in GPT blocks.
+type LayerNorm struct {
+	name  string
+	Gamma *autograd.Parameter
+	Beta  *autograd.Parameter
+	Eps   float32
+
+	x, mean, invStd *tensor.Tensor
+}
+
+// NewLayerNorm builds a LayerNorm over vectors of the given width with
+// gamma=1, beta=0.
+func NewLayerNorm(name string, width int) *LayerNorm {
+	return &LayerNorm{
+		name:  name,
+		Gamma: autograd.NewParameter(name+".gamma", tensor.Ones(width)),
+		Beta:  autograd.NewParameter(name+".beta", tensor.Zeros(width)),
+		Eps:   1e-5,
+	}
+}
+
+// Name implements autograd.Module.
+func (l *LayerNorm) Name() string { return l.name }
+
+// Parameters implements autograd.Module.
+func (l *LayerNorm) Parameters() []*autograd.Parameter {
+	return []*autograd.Parameter{l.Gamma, l.Beta}
+}
+
+// Forward normalizes x, caching the statistics needed by Backward.
+func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
+	l.x = x
+	out, mean, invStd := tensor.LayerNorm(x, l.Gamma.Value, l.Beta.Value, l.Eps)
+	l.mean, l.invStd = mean, invStd
+	return out
+}
+
+// Backward computes input and affine-parameter gradients.
+func (l *LayerNorm) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dx, dgamma, dbeta := tensor.LayerNormBackward(l.x, l.Gamma.Value, l.mean, l.invStd, dout)
+	l.Gamma.AccumulateGrad(dgamma)
+	l.Beta.AccumulateGrad(dbeta)
+	return dx
+}

@@ -1,0 +1,61 @@
+// Package nn implements the neural-network layers the STRONGHOLD
+// reproduction trains for real at small scale: Linear, Embedding,
+// LayerNorm, multi-head causal self-attention, the Transformer MLP, full
+// Transformer blocks, and a GPT-style language model. Every layer is an
+// autograd.Module with a hand-written backward pass, so the functional
+// training path has no framework dependencies.
+package nn
+
+import (
+	"fmt"
+
+	"stronghold/internal/autograd"
+	"stronghold/internal/tensor"
+)
+
+// Linear is a fully connected layer: y = x W + b.
+type Linear struct {
+	name string
+	W    *autograd.Parameter // [in, out]
+	B    *autograd.Parameter // [out]
+
+	x *tensor.Tensor // cached input for backward
+}
+
+// NewLinear builds a Linear layer with N(0, 0.02²)-initialized weights,
+// the GPT-2 initialization used by Megatron-LM.
+func NewLinear(name string, in, out int, rng *tensor.RNG) *Linear {
+	return &Linear{
+		name: name,
+		W:    autograd.NewParameter(name+".weight", tensor.Randn(rng, 0.02, in, out)),
+		B:    autograd.NewParameter(name+".bias", tensor.Zeros(out)),
+	}
+}
+
+// Name implements autograd.Module.
+func (l *Linear) Name() string { return l.name }
+
+// Parameters implements autograd.Module.
+func (l *Linear) Parameters() []*autograd.Parameter {
+	return []*autograd.Parameter{l.W, l.B}
+}
+
+// Forward computes x W + b, caching x.
+func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Dim(-1) != l.W.Value.Dim(0) {
+		panic(fmt.Sprintf("nn: %s got input dim %d, want %d", l.name, x.Dim(-1), l.W.Value.Dim(0)))
+	}
+	l.x = x
+	return tensor.Add(tensor.MatMul(x, l.W.Value), l.B.Value)
+}
+
+// Backward accumulates dW = x^T dout, db = Σrows dout and returns
+// dx = dout W^T.
+func (l *Linear) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if l.x == nil {
+		panic(fmt.Sprintf("nn: %s Backward before Forward", l.name))
+	}
+	l.W.AccumulateGrad(tensor.MatMulTransA(l.x, dout))
+	l.B.AccumulateGrad(tensor.SumRows(dout))
+	return tensor.MatMulTransB(dout, l.W.Value)
+}

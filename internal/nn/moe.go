@@ -1,0 +1,170 @@
+package nn
+
+import (
+	"fmt"
+
+	"stronghold/internal/autograd"
+	"stronghold/internal/tensor"
+)
+
+// MoE is a top-1 routed mixture-of-experts feed-forward layer (the
+// Switch-Transformer style gating the paper's §III-B discusses as a
+// "non-linear structure"): a router picks one expert MLP per token and
+// the expert output is scaled by the gate probability, giving the
+// router a gradient path. Its execution set changes per input — the
+// property that forces STRONGHOLD to either fetch all directly
+// connected units or delay movement until the route is known.
+type MoE struct {
+	name    string
+	Router  *Linear
+	Experts []*MLP
+
+	// caches
+	x       *tensor.Tensor
+	probs   *tensor.Tensor // router softmax [tokens, E]
+	assign  []int          // chosen expert per token
+	inByExp [][]int        // token indices routed to each expert
+	outExp  []*tensor.Tensor
+	active  map[int]bool
+}
+
+// NewMoE builds a router plus experts mixture over hidden-width tokens.
+func NewMoE(name string, hidden, experts int, rng *tensor.RNG) *MoE {
+	if experts < 1 {
+		panic(fmt.Sprintf("nn: MoE %s needs at least one expert", name))
+	}
+	m := &MoE{
+		name:   name,
+		Router: NewLinear(name+".router", hidden, experts, rng),
+	}
+	for e := 0; e < experts; e++ {
+		m.Experts = append(m.Experts, NewMLP(fmt.Sprintf("%s.expert%d", name, e), hidden, rng))
+	}
+	return m
+}
+
+// Name implements autograd.Module.
+func (m *MoE) Name() string { return m.name }
+
+// Parameters implements autograd.Module.
+func (m *MoE) Parameters() []*autograd.Parameter {
+	ps := m.Router.Parameters()
+	for _, e := range m.Experts {
+		ps = append(ps, e.Parameters()...)
+	}
+	return ps
+}
+
+// ActiveExperts returns the experts the most recent forward pass
+// actually used — the set a §III-B-aware runtime would prefetch once
+// the routing decision is known.
+func (m *MoE) ActiveExperts() []int {
+	var out []int
+	for e := range m.Experts {
+		if m.active[e] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Forward routes each token to its argmax expert and scales the expert
+// output by the gate probability.
+func (m *MoE) Forward(x *tensor.Tensor) *tensor.Tensor {
+	h := x.Dim(-1)
+	tokens := x.Size() / h
+	m.x = x
+	logits := m.Router.Forward(x)
+	m.probs = tensor.Softmax(logits)
+	E := len(m.Experts)
+
+	m.assign = make([]int, tokens)
+	m.inByExp = make([][]int, E)
+	m.active = make(map[int]bool)
+	for t := 0; t < tokens; t++ {
+		best, bestV := 0, m.probs.Data()[t*E]
+		for e := 1; e < E; e++ {
+			if v := m.probs.Data()[t*E+e]; v > bestV {
+				best, bestV = e, v
+			}
+		}
+		m.assign[t] = best
+		m.inByExp[best] = append(m.inByExp[best], t)
+		m.active[best] = true
+	}
+
+	out := tensor.New(x.Shape()...)
+	m.outExp = make([]*tensor.Tensor, E)
+	for e, idxs := range m.inByExp {
+		if len(idxs) == 0 {
+			continue
+		}
+		in := gatherRows(x, idxs, h)
+		y := m.Experts[e].Forward(in)
+		m.outExp[e] = y
+		for r, t := range idxs {
+			gate := m.probs.Data()[t*E+e]
+			dst := out.Data()[t*h : (t+1)*h]
+			src := y.Data()[r*h : (r+1)*h]
+			for i := range dst {
+				dst[i] = gate * src[i]
+			}
+		}
+	}
+	return out
+}
+
+// Backward propagates through the gates, the active experts and the
+// router.
+func (m *MoE) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	h := m.x.Dim(-1)
+	tokens := m.x.Size() / h
+	E := len(m.Experts)
+
+	dx := tensor.New(m.x.Shape()...)
+	// dprobs is dense but only the chosen expert's column is nonzero
+	// (top-1 routing).
+	dprobs := tensor.New(tokens, E)
+	for e, idxs := range m.inByExp {
+		if len(idxs) == 0 {
+			continue
+		}
+		// Expert-path gradient: d(expertOut) = gate · dout.
+		dy := tensor.New(len(idxs), h)
+		for r, t := range idxs {
+			gate := m.probs.Data()[t*E+e]
+			src := dout.Data()[t*h : (t+1)*h]
+			dst := dy.Data()[r*h : (r+1)*h]
+			var dgate float64
+			y := m.outExp[e].Data()[r*h : (r+1)*h]
+			for i := range src {
+				dst[i] = gate * src[i]
+				dgate += float64(src[i]) * float64(y[i])
+			}
+			dprobs.Set(float32(dgate), t, e)
+		}
+		dxe := m.Experts[e].Backward(dy)
+		for r, t := range idxs {
+			dst := dx.Data()[t*h : (t+1)*h]
+			src := dxe.Data()[r*h : (r+1)*h]
+			for i := range dst {
+				dst[i] += src[i]
+			}
+		}
+	}
+	// Router path: through the softmax, then the router linear. The
+	// gradient sizes match row-wise regardless of the leading shape.
+	dlogits := tensor.SoftmaxBackward(m.probs, dprobs)
+	dx.AddScaled(1, m.Router.Backward(dlogits))
+	return dx
+}
+
+// gatherRows copies the given token rows of x [.., h] into a compact
+// [len(idxs), h] tensor.
+func gatherRows(x *tensor.Tensor, idxs []int, h int) *tensor.Tensor {
+	out := tensor.New(len(idxs), h)
+	for r, t := range idxs {
+		copy(out.Data()[r*h:(r+1)*h], x.Data()[t*h:(t+1)*h])
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"stronghold/internal/autograd"
+	"stronghold/internal/tensor"
+)
+
+func TestMoEForwardShape(t *testing.T) {
+	rng := tensor.NewRNG(31)
+	m := NewMoE("moe", 8, 4, rng)
+	x := tensor.Randn(rng, 1, 2, 3, 8)
+	y := m.Forward(x)
+	if !y.SameShape(x) {
+		t.Fatalf("MoE output shape %v, want %v", y.Shape(), x.Shape())
+	}
+	if len(m.ActiveExperts()) == 0 {
+		t.Fatal("no experts activated")
+	}
+}
+
+func TestMoETop1Sparsity(t *testing.T) {
+	// Every token goes to exactly one expert; expert token lists
+	// partition the tokens.
+	rng := tensor.NewRNG(32)
+	m := NewMoE("moe", 8, 4, rng)
+	x := tensor.Randn(rng, 1, 3, 5, 8)
+	m.Forward(x)
+	seen := map[int]bool{}
+	total := 0
+	for _, idxs := range m.inByExp {
+		for _, t2 := range idxs {
+			if seen[t2] {
+				t.Fatalf("token %d routed twice", t2)
+			}
+			seen[t2] = true
+			total++
+		}
+	}
+	if total != 15 {
+		t.Fatalf("routed %d tokens, want 15", total)
+	}
+}
+
+func TestMoERoutingIsInputDependent(t *testing.T) {
+	// The §III-B property: the execution path changes with the input,
+	// so a runtime cannot know which expert to fetch ahead of routing.
+	rng := tensor.NewRNG(33)
+	m := NewMoE("moe", 16, 8, rng)
+	// Make the router decisive.
+	m.Router.W.Value.ScaleInPlace(50)
+	a := tensor.Randn(rng, 1, 1, 6, 16)
+	b := tensor.Randn(rng, 1, 1, 6, 16)
+	m.Forward(a)
+	assignA := append([]int(nil), m.assign...)
+	m.Forward(b)
+	same := true
+	for i := range assignA {
+		if assignA[i] != m.assign[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different inputs should route differently")
+	}
+}
+
+func TestMoEGradients(t *testing.T) {
+	rng := tensor.NewRNG(34)
+	m := NewMoE("moe", 6, 2, rng)
+	// Routing must be stable under the finite-difference perturbations
+	// or the loss is non-differentiable at the sample; make the router
+	// decisive so ±h never flips an assignment.
+	m.Router.W.Value.ScaleInPlace(200)
+	x := tensor.Randn(rng, 0.8, 1, 4, 6)
+	numericCheck(t, m, x, 8e-2)
+}
+
+func TestMoESingleExpertDegeneratesToGatedMLP(t *testing.T) {
+	// With one expert, routing is trivial and the output equals
+	// prob·MLP(x) with prob = 1 (softmax of a single logit).
+	rng := tensor.NewRNG(35)
+	m := NewMoE("moe", 6, 1, rng)
+	x := tensor.Randn(rng, 1, 1, 3, 6)
+	y := m.Forward(x)
+	ref := NewMLP("ref", 6, tensor.NewRNG(99))
+	// Copy the expert's weights into the reference MLP.
+	for i, p := range ref.Parameters() {
+		p.Value.CopyFrom(m.Experts[0].Parameters()[i].Value)
+	}
+	want := ref.Forward(x)
+	if !y.AllClose(want, 1e-5, 1e-6) {
+		t.Fatal("single-expert MoE must equal its MLP")
+	}
+}
+
+func TestMoEZeroExpertsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMoE("moe", 8, 0, tensor.NewRNG(1))
+}
+
+func TestMoEInsideSequentialTrains(t *testing.T) {
+	// An MoE block mixed into a GPT must train: loss decreases on a
+	// fixed batch. This exercises the heterogeneous-layer case of
+	// §III-B/§III-D end to end.
+	rng := tensor.NewRNG(36)
+	g, err := NewGPT(GPTConfig{Vocab: 17, MaxSeq: 8, Hidden: 8, Heads: 2, Layers: 2, Seed: 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extend the stack with an MoE block.
+	moe := NewMoE("moe", 8, 2, rng)
+	g.Blocks = autograd.NewSequential(append(g.Blocks.Layers(), moe)...)
+
+	ids := tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6}, 1, 6)
+	tgt := tensor.FromSlice([]float32{2, 3, 4, 5, 6, 7}, 1, 6)
+	first := g.TrainStep(ids, tgt)
+	for i := 0; i < 25; i++ {
+		for _, p := range g.Parameters() {
+			p.Value.AddScaled(-0.3, p.Grad)
+			p.ZeroGrad()
+		}
+		g.TrainStep(ids, tgt)
+	}
+	for _, p := range g.Parameters() {
+		p.Value.AddScaled(-0.3, p.Grad)
+		p.ZeroGrad()
+	}
+	last := g.TrainStep(ids, tgt)
+	if last >= first {
+		t.Fatalf("MoE-augmented model did not learn: %v -> %v", first, last)
+	}
+}
+
+func TestMoEDeterministicRouting(t *testing.T) {
+	rng := tensor.NewRNG(37)
+	m := NewMoE("moe", 8, 4, rng)
+	x := tensor.Randn(rng, 1, 1, 5, 8)
+	y1 := m.Forward(x).Clone()
+	y2 := m.Forward(x)
+	if !y1.Equal(y2) {
+		t.Fatal("same input must produce identical output")
+	}
+}
+
+func TestMoEGateScaling(t *testing.T) {
+	// Output magnitude carries the gate probability: forcing the router
+	// toward uniform (prob 1/E) scales outputs accordingly.
+	rng := tensor.NewRNG(38)
+	m := NewMoE("moe", 6, 3, rng)
+	m.Router.W.Value.Zero() // uniform routing probabilities
+	m.Router.B.Value.Zero()
+	x := tensor.Randn(rng, 1, 1, 2, 6)
+	y := m.Forward(x)
+	// Every token's gate is exactly 1/3.
+	for t2 := 0; t2 < 2; t2++ {
+		e := m.assign[t2]
+		out := m.outExp[e]
+		// Find the token's row within the expert batch.
+		row := -1
+		for r, idx := range m.inByExp[e] {
+			if idx == t2 {
+				row = r
+			}
+		}
+		for i := 0; i < 6; i++ {
+			want := out.Data()[row*6+i] / 3
+			got := y.Data()[t2*6+i]
+			if math.Abs(float64(got-want)) > 1e-6 {
+				t.Fatalf("gate scaling wrong: %v vs %v", got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,418 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"stronghold/internal/autograd"
+	"stronghold/internal/tensor"
+)
+
+// numericCheck compares a module's analytic gradients (input and
+// parameters) against central finite differences of the scalar loss
+// sum(forward(x) * dy).
+func numericCheck(t *testing.T, m autograd.Module, x *tensor.Tensor, tol float64) {
+	t.Helper()
+	rng := tensor.NewRNG(999)
+	y := m.Forward(x)
+	dy := tensor.Randn(rng, 1, y.Shape()...)
+
+	loss := func() float64 {
+		out := m.Forward(x)
+		var s float64
+		for i := range out.Data() {
+			s += float64(out.Data()[i]) * float64(dy.Data()[i])
+		}
+		return s
+	}
+
+	for _, p := range m.Parameters() {
+		p.ZeroGrad()
+	}
+	m.Forward(x)
+	dx := m.Backward(dy)
+
+	const h = 1e-2
+	checkTensor := func(name string, vals *tensor.Tensor, grad *tensor.Tensor, stride int) {
+		t.Helper()
+		for i := 0; i < vals.Size(); i += stride {
+			orig := vals.Data()[i]
+			vals.Data()[i] = orig + h
+			up := loss()
+			vals.Data()[i] = orig - h
+			dn := loss()
+			vals.Data()[i] = orig
+			num := (up - dn) / (2 * h)
+			got := float64(grad.Data()[i])
+			if math.Abs(num-got) > tol*(1+math.Abs(num)) {
+				t.Fatalf("%s grad[%d]: analytic %v vs numeric %v", name, i, got, num)
+			}
+		}
+	}
+	// Sample parameters sparsely to keep the test fast but meaningful.
+	for _, p := range m.Parameters() {
+		stride := max(1, p.Value.Size()/17)
+		checkTensor(p.Name, p.Value, p.Grad, stride)
+	}
+	if dx != nil && dx.Size() == x.Size() {
+		checkTensor("input", x, dx, max(1, x.Size()/23))
+	}
+}
+
+func TestLinearForwardValues(t *testing.T) {
+	l := NewLinear("l", 2, 3, tensor.NewRNG(1))
+	l.W.Value.CopyFrom(tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3))
+	l.B.Value.CopyFrom(tensor.FromSlice([]float32{10, 20, 30}, 3))
+	x := tensor.FromSlice([]float32{1, 1}, 1, 2)
+	y := l.Forward(x)
+	want := []float32{15, 27, 39}
+	for i, w := range want {
+		if y.Data()[i] != w {
+			t.Fatalf("linear forward got %v, want %v", y.Data(), want)
+		}
+	}
+}
+
+func TestLinearGradients(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	l := NewLinear("l", 5, 4, rng)
+	x := tensor.Randn(rng, 1, 2, 3, 5)
+	numericCheck(t, l, x, 2e-2)
+}
+
+func TestLinearInputDimMismatchPanics(t *testing.T) {
+	l := NewLinear("l", 5, 4, tensor.NewRNG(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.Forward(tensor.Ones(2, 3))
+}
+
+func TestLinearBackwardBeforeForwardPanics(t *testing.T) {
+	l := NewLinear("l", 2, 2, tensor.NewRNG(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.Backward(tensor.Ones(1, 2))
+}
+
+func TestLayerNormGradients(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	l := NewLayerNorm("ln", 6)
+	// Non-trivial affine parameters.
+	l.Gamma.Value.CopyFrom(tensor.Randn(rng, 0.3, 6))
+	for i := range l.Gamma.Value.Data() {
+		l.Gamma.Value.Data()[i] += 1
+	}
+	x := tensor.Randn(rng, 1, 3, 6)
+	numericCheck(t, l, x, 3e-2)
+}
+
+func TestEmbeddingForwardGather(t *testing.T) {
+	e := NewEmbedding("e", 5, 8, 4, tensor.NewRNG(4))
+	ids := tensor.FromSlice([]float32{0, 3, 1, 1}, 2, 2)
+	out := e.Forward(ids)
+	if out.Dim(0) != 2 || out.Dim(1) != 2 || out.Dim(2) != 4 {
+		t.Fatalf("embedding output shape %v", out.Shape())
+	}
+	// Row (0,0) must equal wte[0] + wpe[0].
+	for i := 0; i < 4; i++ {
+		want := e.Wte.Value.At(0, i) + e.Wpe.Value.At(0, i)
+		if out.At(0, 0, i) != want {
+			t.Fatalf("embedding gather wrong at %d", i)
+		}
+	}
+}
+
+func TestEmbeddingBackwardScatter(t *testing.T) {
+	e := NewEmbedding("e", 5, 8, 4, tensor.NewRNG(4))
+	// Same token twice: gradient rows must accumulate.
+	ids := tensor.FromSlice([]float32{2, 2}, 1, 2)
+	e.Forward(ids)
+	dout := tensor.Ones(1, 2, 4)
+	e.Backward(dout)
+	for i := 0; i < 4; i++ {
+		if e.Wte.Grad.At(2, i) != 2 {
+			t.Fatalf("wte grad row 2 = %v, want 2s", e.Wte.Grad.At(2, i))
+		}
+		if e.Wte.Grad.At(0, i) != 0 {
+			t.Fatal("untouched embedding rows must have zero grad")
+		}
+		if e.Wpe.Grad.At(0, i) != 1 || e.Wpe.Grad.At(1, i) != 1 {
+			t.Fatal("positional grads wrong")
+		}
+	}
+}
+
+func TestEmbeddingOutOfVocabPanics(t *testing.T) {
+	e := NewEmbedding("e", 5, 8, 4, tensor.NewRNG(4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Forward(tensor.FromSlice([]float32{7}, 1, 1))
+}
+
+func TestEmbeddingTooLongSequencePanics(t *testing.T) {
+	e := NewEmbedding("e", 5, 2, 4, tensor.NewRNG(4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Forward(tensor.Zeros(1, 3))
+}
+
+func TestAttentionCausality(t *testing.T) {
+	// Changing a future token must not change earlier outputs.
+	rng := tensor.NewRNG(5)
+	a := NewAttention("attn", 8, 2, rng)
+	x := tensor.Randn(rng, 1, 1, 4, 8)
+	y1 := a.Forward(x)
+	x2 := x.Clone()
+	// Perturb only the last position.
+	for i := 0; i < 8; i++ {
+		x2.Set(x2.At(0, 3, i)+5, 0, 3, i)
+	}
+	y2 := a.Forward(x2)
+	for si := 0; si < 3; si++ {
+		for i := 0; i < 8; i++ {
+			if y1.At(0, si, i) != y2.At(0, si, i) {
+				t.Fatalf("causality violated at position %d", si)
+			}
+		}
+	}
+	// The final position must change.
+	changed := false
+	for i := 0; i < 8; i++ {
+		if y1.At(0, 3, i) != y2.At(0, 3, i) {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("last position output should depend on its input")
+	}
+}
+
+func TestAttentionGradients(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	a := NewAttention("attn", 8, 2, rng)
+	x := tensor.Randn(rng, 0.7, 1, 3, 8)
+	numericCheck(t, a, x, 5e-2)
+}
+
+func TestAttentionHeadsDivisibilityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAttention("attn", 10, 3, tensor.NewRNG(1))
+}
+
+func TestSplitMergeHeadsRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	x := tensor.Randn(rng, 1, 2, 5, 12)
+	if !mergeHeads(splitHeads(x, 3), 2, 3).Equal(x) {
+		t.Fatal("splitHeads/mergeHeads must be inverse operations")
+	}
+}
+
+func TestMLPGradients(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	m := NewMLP("mlp", 6, rng)
+	x := tensor.Randn(rng, 0.7, 1, 2, 6)
+	numericCheck(t, m, x, 3e-2)
+}
+
+func TestTransformerBlockGradients(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	b := NewTransformerBlock("blk", 8, 2, rng)
+	x := tensor.Randn(rng, 0.5, 1, 3, 8)
+	numericCheck(t, b, x, 8e-2)
+}
+
+func TestTransformerBlockParamCount(t *testing.T) {
+	// ln1(2h) + attn(3h²+3h + h²+h) + ln2(2h) + mlp(4h²+4h + 4h²+h)
+	// = 12h² + 13h per block — matching the 12·h² per-block weight
+	// volume used in the paper's §III-F (which counts matrices only).
+	h := 16
+	b := NewTransformerBlock("blk", h, 2, tensor.NewRNG(1))
+	var got int64
+	for _, p := range b.Parameters() {
+		got += int64(p.NumParams())
+	}
+	want := int64(12*h*h + 13*h)
+	if got != want {
+		t.Fatalf("block params = %d, want %d", got, want)
+	}
+}
+
+func TestGPTConfigValidate(t *testing.T) {
+	good := GPTConfig{Vocab: 10, MaxSeq: 8, Hidden: 8, Heads: 2, Layers: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []GPTConfig{
+		{Vocab: 0, MaxSeq: 8, Hidden: 8, Heads: 2, Layers: 1},
+		{Vocab: 10, MaxSeq: 0, Hidden: 8, Heads: 2, Layers: 1},
+		{Vocab: 10, MaxSeq: 8, Hidden: 7, Heads: 2, Layers: 1},
+		{Vocab: 10, MaxSeq: 8, Hidden: 8, Heads: 2, Layers: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+	if _, err := NewGPT(bad[0]); err == nil {
+		t.Fatal("NewGPT must reject invalid configs")
+	}
+}
+
+func TestGPTForwardShapes(t *testing.T) {
+	g, err := NewGPT(GPTConfig{Vocab: 11, MaxSeq: 8, Hidden: 8, Heads: 2, Layers: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	logits := g.Forward(ids)
+	if logits.Dim(0) != 2 || logits.Dim(1) != 3 || logits.Dim(2) != 11 {
+		t.Fatalf("logits shape %v", logits.Shape())
+	}
+}
+
+func TestGPTLossDecreasesUnderSGD(t *testing.T) {
+	g, err := NewGPT(GPTConfig{Vocab: 13, MaxSeq: 8, Hidden: 16, Heads: 2, Layers: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(3)
+	ids := tensor.New(2, 6)
+	tgt := tensor.New(2, 6)
+	for i := range ids.Data() {
+		ids.Data()[i] = float32(rng.Intn(13))
+		tgt.Data()[i] = float32(rng.Intn(13))
+	}
+	first := g.TrainStep(ids, tgt)
+	for iter := 0; iter < 30; iter++ {
+		for _, p := range g.Parameters() {
+			p.Value.AddScaled(-0.5, p.Grad)
+		}
+		g.ZeroGrad()
+		g.TrainStep(ids, tgt)
+	}
+	for _, p := range g.Parameters() {
+		p.Value.AddScaled(-0.5, p.Grad)
+	}
+	g.ZeroGrad()
+	last := g.TrainStep(ids, tgt)
+	if last >= first {
+		t.Fatalf("loss did not decrease: first %v, last %v", first, last)
+	}
+}
+
+func TestGPTLossMatchesUniformAtInit(t *testing.T) {
+	// With near-zero logits the cross-entropy is ~log(vocab).
+	g, err := NewGPT(GPTConfig{Vocab: 32, MaxSeq: 4, Hidden: 8, Heads: 2, Layers: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := tensor.Zeros(1, 4)
+	tgt := tensor.Zeros(1, 4)
+	logits := g.Forward(ids)
+	loss := g.Loss(logits, tgt)
+	if math.Abs(loss-math.Log(32)) > 0.5 {
+		t.Fatalf("initial loss %v, want ≈ %v", loss, math.Log(32))
+	}
+}
+
+func TestGPTLossBackwardSumsToZeroPerRow(t *testing.T) {
+	// dlogits rows sum to zero: softmax sums to 1, one-hot sums to 1.
+	g, err := NewGPT(GPTConfig{Vocab: 7, MaxSeq: 4, Hidden: 8, Heads: 2, Layers: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := tensor.FromSlice([]float32{1, 2}, 1, 2)
+	tgt := tensor.FromSlice([]float32{3, 4}, 1, 2)
+	g.Loss(g.Forward(ids), tgt)
+	d := g.LossBackward()
+	for r := 0; r < 2; r++ {
+		var s float64
+		for c := 0; c < 7; c++ {
+			s += float64(d.At(0, r, c))
+		}
+		if math.Abs(s) > 1e-5 {
+			t.Fatalf("dlogits row %d sums to %v", r, s)
+		}
+	}
+}
+
+func TestGPTLossBackwardBeforeLossPanics(t *testing.T) {
+	g, _ := NewGPT(GPTConfig{Vocab: 7, MaxSeq: 4, Hidden: 8, Heads: 2, Layers: 1, Seed: 5})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.LossBackward()
+}
+
+func TestGPTNumParamsFormula(t *testing.T) {
+	cfg := GPTConfig{Vocab: 50, MaxSeq: 16, Hidden: 24, Heads: 2, Layers: 3, Seed: 6}
+	g, err := NewGPT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := int64(cfg.Hidden)
+	want := int64(cfg.Vocab)*h + int64(cfg.MaxSeq)*h + // embeddings
+		int64(cfg.Layers)*(12*h*h+13*h) + // blocks
+		2*h + // final norm
+		h*int64(cfg.Vocab) + int64(cfg.Vocab) // head
+	if g.NumParams() != want {
+		t.Fatalf("NumParams = %d, want %d", g.NumParams(), want)
+	}
+}
+
+func TestGPTDeterministicInit(t *testing.T) {
+	cfg := GPTConfig{Vocab: 17, MaxSeq: 8, Hidden: 8, Heads: 2, Layers: 2, Seed: 7}
+	g1, _ := NewGPT(cfg)
+	g2, _ := NewGPT(cfg)
+	p1, p2 := g1.Parameters(), g2.Parameters()
+	for i := range p1 {
+		if !p1[i].Value.Equal(p2[i].Value) {
+			t.Fatalf("parameter %s differs across identical seeds", p1[i].Name)
+		}
+	}
+}
+
+func TestGPTCheckpointingDoesNotChangeLoss(t *testing.T) {
+	cfg := GPTConfig{Vocab: 13, MaxSeq: 8, Hidden: 16, Heads: 2, Layers: 4, Seed: 8}
+	rng := tensor.NewRNG(9)
+	ids := tensor.New(1, 5)
+	tgt := tensor.New(1, 5)
+	for i := range ids.Data() {
+		ids.Data()[i] = float32(rng.Intn(13))
+		tgt.Data()[i] = float32(rng.Intn(13))
+	}
+	ref, _ := NewGPT(cfg)
+	refLoss := ref.TrainStep(ids, tgt)
+
+	ck, _ := NewGPT(cfg)
+	ck.Blocks.SetActivationCheckpointing(2)
+	ckLoss := ck.TrainStep(ids, tgt)
+
+	if refLoss != ckLoss {
+		t.Fatalf("checkpointing changed loss: %v vs %v", refLoss, ckLoss)
+	}
+	rp, cp := ref.Parameters(), ck.Parameters()
+	for i := range rp {
+		if !rp[i].Grad.Equal(cp[i].Grad) {
+			t.Fatalf("checkpointing changed grad of %s", rp[i].Name)
+		}
+	}
+}

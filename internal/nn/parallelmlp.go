@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"stronghold/internal/autograd"
+	"stronghold/internal/tensor"
+)
+
+// ParallelMLP is the Megatron-sharded Transformer feed-forward block:
+// a column-parallel expansion followed by a row-parallel projection.
+// Because GELU is elementwise, no communication is needed between the
+// two — the property that makes this the canonical tensor-parallel
+// pattern and the paper's MP=8 offloading unit viable.
+type ParallelMLP struct {
+	name string
+	Fc   *ColumnParallelLinear
+	Proj *RowParallelLinear
+
+	pre *tensor.Tensor
+}
+
+// NewParallelMLP builds the sharded feed-forward block across ways.
+func NewParallelMLP(name string, hidden, ways int, rng *tensor.RNG) (*ParallelMLP, error) {
+	fc, err := NewColumnParallelLinear(name+".fc", hidden, 4*hidden, ways, rng)
+	if err != nil {
+		return nil, err
+	}
+	proj, err := NewRowParallelLinear(name+".proj", 4*hidden, hidden, ways, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &ParallelMLP{name: name, Fc: fc, Proj: proj}, nil
+}
+
+// Name implements autograd.Module.
+func (m *ParallelMLP) Name() string { return m.name }
+
+// Parameters implements autograd.Module.
+func (m *ParallelMLP) Parameters() []*autograd.Parameter {
+	return append(m.Fc.Parameters(), m.Proj.Parameters()...)
+}
+
+// Forward computes Proj(GELU(Fc(x))) across the shards.
+func (m *ParallelMLP) Forward(x *tensor.Tensor) *tensor.Tensor {
+	m.pre = m.Fc.Forward(x)
+	return m.Proj.Forward(tensor.GELU(m.pre))
+}
+
+// Backward propagates through the sharded projection, GELU and
+// expansion.
+func (m *ParallelMLP) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dact := m.Proj.Backward(dout)
+	dpre := tensor.GELUBackward(m.pre, dact)
+	return m.Fc.Backward(dpre)
+}
+
+// ShardParams reports the per-shard parameter count — the offloading
+// unit size under tensor parallelism (§III-C: "a sliced layer").
+func (m *ParallelMLP) ShardParams(way int) int {
+	n := 0
+	for _, p := range m.Fc.Shards[way].Parameters() {
+		n += p.NumParams()
+	}
+	for _, p := range m.Proj.Shards[way].Parameters() {
+		n += p.NumParams()
+	}
+	return n
+}

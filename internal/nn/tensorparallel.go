@@ -1,0 +1,172 @@
+package nn
+
+import (
+	"fmt"
+
+	"stronghold/internal/autograd"
+	"stronghold/internal/tensor"
+)
+
+// Functional tensor (model) parallelism — the Megatron-style sharding
+// behind Table I's MP=8 configurations and the paper's "sliced layer"
+// offloading unit (§III-C). A ColumnParallelLinear splits the weight
+// matrix by output columns across ways; a RowParallelLinear splits by
+// input rows and sums partial products (the all-reduce point). Together
+// they implement the standard attention/MLP sharding; tests verify
+// bit-level equivalence with the unsharded layers.
+
+// ColumnParallelLinear computes y = x W + b with W split column-wise
+// into `ways` shards; the shard outputs concatenate.
+type ColumnParallelLinear struct {
+	name   string
+	Shards []*Linear
+}
+
+// NewColumnParallelLinear splits an (in × out) layer across ways (out
+// must divide evenly).
+func NewColumnParallelLinear(name string, in, out, ways int, rng *tensor.RNG) (*ColumnParallelLinear, error) {
+	if ways < 1 || out%ways != 0 {
+		return nil, fmt.Errorf("nn: out %d not divisible by %d ways", out, ways)
+	}
+	c := &ColumnParallelLinear{name: name}
+	for w := 0; w < ways; w++ {
+		c.Shards = append(c.Shards, NewLinear(fmt.Sprintf("%s.col%d", name, w), in, out/ways, rng))
+	}
+	return c, nil
+}
+
+// Name implements autograd.Module.
+func (c *ColumnParallelLinear) Name() string { return c.name }
+
+// Parameters implements autograd.Module.
+func (c *ColumnParallelLinear) Parameters() []*autograd.Parameter {
+	var ps []*autograd.Parameter
+	for _, s := range c.Shards {
+		ps = append(ps, s.Parameters()...)
+	}
+	return ps
+}
+
+// Forward runs every shard on the (replicated) input and concatenates
+// outputs along the last dimension.
+func (c *ColumnParallelLinear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	parts := make([]*tensor.Tensor, len(c.Shards))
+	for i, s := range c.Shards {
+		parts[i] = s.Forward(x)
+	}
+	return concatCols(parts)
+}
+
+// Backward splits the upstream gradient by columns and sums the shards'
+// input gradients (each shard saw the same input).
+func (c *ColumnParallelLinear) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	per := dout.Dim(-1) / len(c.Shards)
+	var dx *tensor.Tensor
+	for i, s := range c.Shards {
+		dxi := s.Backward(sliceLastDim(dout, i*per, per))
+		if dx == nil {
+			dx = dxi
+		} else {
+			dx.AddScaled(1, dxi)
+		}
+	}
+	return dx
+}
+
+// RowParallelLinear computes y = x W + b with W split row-wise: the
+// input is split by features, each shard produces a full-width partial
+// output, and the partials sum — functionally the all-reduce of tensor
+// parallelism.
+type RowParallelLinear struct {
+	name   string
+	Shards []*Linear
+	inPer  int
+}
+
+// NewRowParallelLinear splits an (in × out) layer across ways (in must
+// divide evenly). Only shard 0 carries the bias so the summed output
+// adds it once.
+func NewRowParallelLinear(name string, in, out, ways int, rng *tensor.RNG) (*RowParallelLinear, error) {
+	if ways < 1 || in%ways != 0 {
+		return nil, fmt.Errorf("nn: in %d not divisible by %d ways", in, ways)
+	}
+	r := &RowParallelLinear{name: name, inPer: in / ways}
+	for w := 0; w < ways; w++ {
+		l := NewLinear(fmt.Sprintf("%s.row%d", name, w), in/ways, out, rng)
+		if w > 0 {
+			l.B.Value.Zero()
+		}
+		r.Shards = append(r.Shards, l)
+	}
+	return r, nil
+}
+
+// Name implements autograd.Module.
+func (r *RowParallelLinear) Name() string { return r.name }
+
+// Parameters implements autograd.Module.
+func (r *RowParallelLinear) Parameters() []*autograd.Parameter {
+	var ps []*autograd.Parameter
+	for _, s := range r.Shards {
+		ps = append(ps, s.Parameters()...)
+	}
+	return ps
+}
+
+// Forward splits the input features across shards and sums the partial
+// outputs.
+func (r *RowParallelLinear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	var out *tensor.Tensor
+	for i, s := range r.Shards {
+		partial := s.Forward(sliceLastDim(x, i*r.inPer, r.inPer))
+		if out == nil {
+			out = partial
+		} else {
+			out.AddScaled(1, partial)
+		}
+	}
+	return out
+}
+
+// Backward feeds the (replicated) upstream gradient to every shard and
+// concatenates the per-shard input gradients.
+func (r *RowParallelLinear) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	parts := make([]*tensor.Tensor, len(r.Shards))
+	for i, s := range r.Shards {
+		parts[i] = s.Backward(dout)
+	}
+	return concatCols(parts)
+}
+
+// sliceLastDim copies columns [start, start+width) of the last
+// dimension.
+func sliceLastDim(t *tensor.Tensor, start, width int) *tensor.Tensor {
+	cols := t.Dim(-1)
+	rows := t.Size() / cols
+	shape := append(append([]int(nil), t.Shape()[:t.Rank()-1]...), width)
+	out := tensor.New(shape...)
+	for r := 0; r < rows; r++ {
+		copy(out.Data()[r*width:(r+1)*width], t.Data()[r*cols+start:r*cols+start+width])
+	}
+	return out
+}
+
+// concatCols concatenates tensors along the last dimension.
+func concatCols(parts []*tensor.Tensor) *tensor.Tensor {
+	width := 0
+	for _, p := range parts {
+		width += p.Dim(-1)
+	}
+	rows := parts[0].Size() / parts[0].Dim(-1)
+	shape := append(append([]int(nil), parts[0].Shape()[:parts[0].Rank()-1]...), width)
+	out := tensor.New(shape...)
+	off := 0
+	for _, p := range parts {
+		w := p.Dim(-1)
+		for r := 0; r < rows; r++ {
+			copy(out.Data()[r*width+off:r*width+off+w], p.Data()[r*w:(r+1)*w])
+		}
+		off += w
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+// Package optim implements the optimizers the paper trains with — Adam
+// (the memory-dominating case the offloading work targets), AdamW and
+// SGD — behind a per-parameter Step interface so the STRONGHOLD
+// concurrent CPU optimizer pool can update disjoint layers in parallel.
+package optim
+
+import (
+	"fmt"
+	"math"
+
+	"stronghold/internal/autograd"
+)
+
+// Optimizer updates a fixed set of parameters from their accumulated
+// gradients. Implementations keep per-parameter state (e.g. Adam
+// moments); StateBytes reports that state's footprint, which is what
+// ZeRO-Offload/STRONGHOLD move off the GPU.
+type Optimizer interface {
+	// Step applies one update to every managed parameter.
+	Step()
+	// StepParam applies one update to the i-th managed parameter only.
+	// The STRONGHOLD optimizer pool uses this to update layers
+	// concurrently from different workers.
+	StepParam(i int)
+	// Params returns the managed parameters.
+	Params() []*autograd.Parameter
+	// StateBytes returns the optimizer-state footprint in bytes.
+	StateBytes() int64
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float32
+	Momentum float32
+	params   []*autograd.Parameter
+	velocity [][]float32
+}
+
+// NewSGD builds an SGD optimizer over params.
+func NewSGD(params []*autograd.Parameter, lr, momentum float32) *SGD {
+	s := &SGD{LR: lr, Momentum: momentum, params: params}
+	if momentum != 0 {
+		s.velocity = make([][]float32, len(params))
+		for i, p := range params {
+			s.velocity[i] = make([]float32, p.Value.Size())
+		}
+	}
+	return s
+}
+
+// Params implements Optimizer.
+func (s *SGD) Params() []*autograd.Parameter { return s.params }
+
+// StateBytes implements Optimizer.
+func (s *SGD) StateBytes() int64 {
+	var n int64
+	for _, v := range s.velocity {
+		n += int64(len(v)) * 4
+	}
+	return n
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step() {
+	for i := range s.params {
+		s.StepParam(i)
+	}
+}
+
+// StepParam implements Optimizer.
+func (s *SGD) StepParam(i int) {
+	p := s.params[i]
+	w, g := p.Value.Data(), p.Grad.Data()
+	if s.velocity == nil {
+		for j := range w {
+			w[j] -= s.LR * g[j]
+		}
+		return
+	}
+	v := s.velocity[i]
+	for j := range w {
+		v[j] = s.Momentum*v[j] + g[j]
+		w[j] -= s.LR * v[j]
+	}
+}
+
+// AdamConfig holds Adam/AdamW hyperparameters. Defaults (Zero values
+// replaced by DefaultAdamConfig) follow the paper's references [22],
+// [11].
+type AdamConfig struct {
+	LR          float32
+	Beta1       float32
+	Beta2       float32
+	Eps         float32
+	WeightDecay float32 // decoupled (AdamW) when nonzero
+}
+
+// DefaultAdamConfig returns the standard Adam hyperparameters.
+func DefaultAdamConfig() AdamConfig {
+	return AdamConfig{LR: 1e-3, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Adam implements Adam/AdamW. Its two moment buffers are the "optimizer
+// states" of the paper: 8 bytes per parameter in FP32, which together
+// with parameter+gradient makes the 16 bytes/param model-state total
+// used in all memory-capacity experiments.
+type Adam struct {
+	Config AdamConfig
+	params []*autograd.Parameter
+	m, v   [][]float32
+	step   []int // per-parameter step count, so StepParam stays independent
+}
+
+// NewAdam builds an Adam optimizer over params.
+func NewAdam(params []*autograd.Parameter, cfg AdamConfig) *Adam {
+	a := &Adam{Config: cfg, params: params}
+	a.m = make([][]float32, len(params))
+	a.v = make([][]float32, len(params))
+	a.step = make([]int, len(params))
+	for i, p := range params {
+		a.m[i] = make([]float32, p.Value.Size())
+		a.v[i] = make([]float32, p.Value.Size())
+	}
+	return a
+}
+
+// Params implements Optimizer.
+func (a *Adam) Params() []*autograd.Parameter { return a.params }
+
+// StateBytes implements Optimizer.
+func (a *Adam) StateBytes() int64 {
+	var n int64
+	for i := range a.m {
+		n += int64(len(a.m[i])+len(a.v[i])) * 4
+	}
+	return n
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step() {
+	for i := range a.params {
+		a.StepParam(i)
+	}
+}
+
+// StepParam implements Optimizer. It is safe to call concurrently for
+// *different* i from different goroutines: all touched state is indexed
+// by i.
+func (a *Adam) StepParam(i int) {
+	a.stepParam(i, a.Config)
+}
+
+// StepParamLR updates one parameter with an explicit learning rate —
+// how LR schedules drive asynchronous per-layer updates without racing
+// on the shared config.
+func (a *Adam) StepParamLR(i int, lr float32) {
+	c := a.Config
+	c.LR = lr
+	a.stepParam(i, c)
+}
+
+func (a *Adam) stepParam(i int, c AdamConfig) {
+	p := a.params[i]
+	a.step[i]++
+	t := a.step[i]
+	bc1 := 1 - float32(math.Pow(float64(c.Beta1), float64(t)))
+	bc2 := 1 - float32(math.Pow(float64(c.Beta2), float64(t)))
+	w, g, m, v := p.Value.Data(), p.Grad.Data(), a.m[i], a.v[i]
+	for j := range w {
+		gj := g[j]
+		m[j] = c.Beta1*m[j] + (1-c.Beta1)*gj
+		v[j] = c.Beta2*v[j] + (1-c.Beta2)*gj*gj
+		mhat := m[j] / bc1
+		vhat := v[j] / bc2
+		upd := c.LR * mhat / (float32(math.Sqrt(float64(vhat))) + c.Eps)
+		if c.WeightDecay != 0 {
+			upd += c.LR * c.WeightDecay * w[j]
+		}
+		w[j] -= upd
+	}
+}
+
+// CloneStateInto copies the i-th parameter's moment buffers into dst
+// slices (used by the NVMe tier to spill optimizer state). dst slices
+// must have the right length.
+func (a *Adam) CloneStateInto(i int, dstM, dstV []float32) error {
+	if len(dstM) != len(a.m[i]) || len(dstV) != len(a.v[i]) {
+		return fmt.Errorf("optim: state clone size mismatch for param %d", i)
+	}
+	copy(dstM, a.m[i])
+	copy(dstV, a.v[i])
+	return nil
+}
+
+// RestoreState loads moment buffers for the i-th parameter (inverse of
+// CloneStateInto).
+func (a *Adam) RestoreState(i int, srcM, srcV []float32) error {
+	if len(srcM) != len(a.m[i]) || len(srcV) != len(a.v[i]) {
+		return fmt.Errorf("optim: state restore size mismatch for param %d", i)
+	}
+	copy(a.m[i], srcM)
+	copy(a.v[i], srcV)
+	return nil
+}

@@ -1,0 +1,78 @@
+package sim
+
+// Signal is a one-shot completion event, the simulated analogue of a
+// CUDA event: work records a signal when it finishes, and other work
+// waits on it before starting.
+type Signal struct {
+	eng     *Engine
+	fired   bool
+	at      Time
+	waiters []func()
+}
+
+// NewSignal returns an unfired signal bound to eng.
+func NewSignal(eng *Engine) *Signal { return &Signal{eng: eng} }
+
+// FiredSignal returns a signal that is already fired at the current
+// time — useful as a neutral dependency.
+func FiredSignal(eng *Engine) *Signal {
+	s := NewSignal(eng)
+	s.Fire()
+	return s
+}
+
+// Fire marks the signal complete at the current virtual time and wakes
+// all waiters. Firing twice panics: completion is a one-shot fact.
+func (s *Signal) Fire() {
+	if s.fired {
+		panic("sim: signal fired twice")
+	}
+	s.fired = true
+	s.at = s.eng.Now()
+	for _, w := range s.waiters {
+		w()
+	}
+	s.waiters = nil
+}
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// FiredAt returns the time the signal fired; only valid after Fired().
+func (s *Signal) FiredAt() Time { return s.at }
+
+// Wait arranges for fn to run once the signal fires (immediately if it
+// already has).
+func (s *Signal) Wait(fn func()) {
+	if s.fired {
+		fn()
+		return
+	}
+	s.waiters = append(s.waiters, fn)
+}
+
+// WaitAll runs fn once every signal in deps has fired. A nil or empty
+// dependency list fires immediately. Nil entries are skipped.
+func WaitAll(eng *Engine, deps []*Signal, fn func()) {
+	remaining := 0
+	for _, d := range deps {
+		if d != nil && !d.fired {
+			remaining++
+		}
+	}
+	if remaining == 0 {
+		fn()
+		return
+	}
+	for _, d := range deps {
+		if d == nil || d.fired {
+			continue
+		}
+		d.Wait(func() {
+			remaining--
+			if remaining == 0 {
+				fn()
+			}
+		})
+	}
+}

@@ -1,0 +1,483 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Fatalf("end time %d, want 30", end)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("order %v", order)
+		}
+	}
+}
+
+func TestEngineTieBreakBySubmissionOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(10, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events must fire in scheduling order: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.Schedule(5, func() {
+		times = append(times, e.Now())
+		e.Schedule(7, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 5 || times[1] != 12 {
+		t.Fatalf("times %v", times)
+	}
+	if e.Steps() != 2 {
+		t.Fatalf("Steps = %d", e.Steps())
+	}
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Schedule(-1, func() {})
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(10, func() { fired++ })
+	e.Schedule(20, func() { fired++ })
+	if drained := e.RunUntil(15); drained {
+		t.Fatal("queue should not be drained at t=15")
+	}
+	if fired != 1 || e.Now() != 15 {
+		t.Fatalf("fired=%d now=%d", fired, e.Now())
+	}
+	if !e.RunUntil(100) || fired != 2 {
+		t.Fatalf("fired=%d", fired)
+	}
+	if e.Pending() != 0 {
+		t.Fatal("pending should be empty")
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if Seconds(1e9) != 1 {
+		t.Fatal("Seconds")
+	}
+	if FromSeconds(2.5) != 2_500_000_000 {
+		t.Fatal("FromSeconds")
+	}
+	if Microseconds(3) != 3000 || Milliseconds(2) != 2_000_000 {
+		t.Fatal("Micro/Milliseconds")
+	}
+}
+
+func TestSignalFireAndWait(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	var woke bool
+	s.Wait(func() { woke = true })
+	if woke || s.Fired() {
+		t.Fatal("signal must not fire early")
+	}
+	e.Schedule(10, s.Fire)
+	e.Run()
+	if !woke || !s.Fired() || s.FiredAt() != 10 {
+		t.Fatalf("woke=%v fired=%v at=%d", woke, s.Fired(), s.FiredAt())
+	}
+	// Waiting on a fired signal runs immediately.
+	ran := false
+	s.Wait(func() { ran = true })
+	if !ran {
+		t.Fatal("wait on fired signal must run immediately")
+	}
+}
+
+func TestSignalDoubleFirePanics(t *testing.T) {
+	e := NewEngine()
+	s := FiredSignal(e)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Fire()
+}
+
+func TestWaitAll(t *testing.T) {
+	e := NewEngine()
+	a, b := NewSignal(e), NewSignal(e)
+	var at Time = -1
+	WaitAll(e, []*Signal{a, b, nil, FiredSignal(e)}, func() { at = e.Now() })
+	e.Schedule(5, a.Fire)
+	e.Schedule(9, b.Fire)
+	e.Run()
+	if at != 9 {
+		t.Fatalf("WaitAll fired at %d, want 9", at)
+	}
+	// Empty dependency list fires immediately.
+	ran := false
+	WaitAll(e, nil, func() { ran = true })
+	if !ran {
+		t.Fatal("WaitAll(nil) must run immediately")
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "copy")
+	var spans [][2]Time
+	r.Submit(10, func(s, d Time) { spans = append(spans, [2]Time{s, d}) })
+	r.Submit(5, func(s, d Time) { spans = append(spans, [2]Time{s, d}) })
+	e.Run()
+	if spans[0] != [2]Time{0, 10} || spans[1] != [2]Time{10, 15} {
+		t.Fatalf("spans %v", spans)
+	}
+	if r.BusyTotal() != 15 || r.Tasks() != 2 {
+		t.Fatalf("busy=%d tasks=%d", r.BusyTotal(), r.Tasks())
+	}
+	if u := r.Utilization(); u != 1 {
+		t.Fatalf("utilization %v, want 1", u)
+	}
+}
+
+func TestResourceIdleGap(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "x")
+	r.Submit(5, func(s, d Time) {})
+	e.Schedule(20, func() { r.Submit(5, func(s, d Time) {}) })
+	e.Run()
+	if e.Now() != 25 {
+		t.Fatalf("now %d, want 25", e.Now())
+	}
+	if got := r.Utilization(); got != 0.4 {
+		t.Fatalf("utilization %v, want 0.4", got)
+	}
+}
+
+func TestResourceNegativeDurationPanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Submit(-1, nil)
+}
+
+func TestResourceSubmitAfter(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "x")
+	dep := NewSignal(e)
+	var start Time = -1
+	done := r.SubmitAfter([]*Signal{dep}, 10, func(s, d Time) { start = s })
+	e.Schedule(7, dep.Fire)
+	e.Run()
+	if start != 7 || !done.Fired() || done.FiredAt() != 17 {
+		t.Fatalf("start=%d doneAt=%d", start, done.FiredAt())
+	}
+}
+
+func TestPoolLeastLoaded(t *testing.T) {
+	e := NewEngine()
+	p := NewPool(e, "cpu", 2)
+	var ends []Time
+	for i := 0; i < 4; i++ {
+		p.Submit(10, func(s, d Time) { ends = append(ends, d) })
+	}
+	e.Run()
+	// Two workers, four 10ns tasks → makespan 20, not 40.
+	if p.BusyUntil() != 20 {
+		t.Fatalf("BusyUntil %d, want 20", p.BusyUntil())
+	}
+	if e.Now() != 20 {
+		t.Fatalf("now %d", e.Now())
+	}
+	if p.Size() != 2 {
+		t.Fatal("size")
+	}
+	if u := p.Utilization(); u != 1 {
+		t.Fatalf("pool utilization %v", u)
+	}
+}
+
+func TestPoolSubmitAfterPicksWorkerLate(t *testing.T) {
+	e := NewEngine()
+	p := NewPool(e, "cpu", 2)
+	// Occupy worker 0 until t=100.
+	p.Submit(100, nil)
+	dep := NewSignal(e)
+	var start Time = -1
+	p.SubmitAfter([]*Signal{dep}, 10, func(s, d Time) { start = s })
+	e.Schedule(5, dep.Fire)
+	e.Run()
+	// The free worker (1) should run it at t=5, not after worker 0.
+	if start != 5 {
+		t.Fatalf("start %d, want 5", start)
+	}
+}
+
+func TestPoolZeroWorkersPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPool(e, "cpu", 0)
+}
+
+func TestSharedProcessorSingleTask(t *testing.T) {
+	e := NewEngine()
+	sp := NewSharedProcessor(e, "gpu", 100) // 100 units/s
+	sig := sp.Submit(50, 1000, nil, nil)    // cap clamps to 100
+	e.Run()
+	if !sig.Fired() {
+		t.Fatal("task did not complete")
+	}
+	// 50 units at 100/s = 0.5s.
+	if got := Seconds(sig.FiredAt()); got < 0.49 || got > 0.51 {
+		t.Fatalf("completion at %vs, want 0.5s", got)
+	}
+}
+
+func TestSharedProcessorRateCap(t *testing.T) {
+	e := NewEngine()
+	sp := NewSharedProcessor(e, "gpu", 100)
+	sig := sp.Submit(50, 25, nil, nil) // capped at a quarter of capacity
+	e.Run()
+	if got := Seconds(sig.FiredAt()); got < 1.99 || got > 2.01 {
+		t.Fatalf("capped task finished at %vs, want 2s", got)
+	}
+}
+
+func TestSharedProcessorTwoCappedTasksRunConcurrently(t *testing.T) {
+	// Two tasks capped at 50 on a 100-capacity processor: both run at
+	// full cap, finishing together — the multi-stream speedup.
+	e := NewEngine()
+	sp := NewSharedProcessor(e, "gpu", 100)
+	a := sp.Submit(50, 50, nil, nil)
+	b := sp.Submit(50, 50, nil, nil)
+	e.Run()
+	ta, tb := Seconds(a.FiredAt()), Seconds(b.FiredAt())
+	if ta < 0.99 || ta > 1.01 || tb < 0.99 || tb > 1.01 {
+		t.Fatalf("tasks finished at %v and %v, want ~1s each", ta, tb)
+	}
+}
+
+func TestSharedProcessorContention(t *testing.T) {
+	// Three tasks capped at 50 on capacity 100: aggregate demand 150
+	// exceeds capacity, so each runs at 100/3 and takes 1.5s.
+	e := NewEngine()
+	sp := NewSharedProcessor(e, "gpu", 100)
+	var sigs []*Signal
+	for i := 0; i < 3; i++ {
+		sigs = append(sigs, sp.Submit(50, 50, nil, nil))
+	}
+	e.Run()
+	for _, s := range sigs {
+		if got := Seconds(s.FiredAt()); got < 1.49 || got > 1.51 {
+			t.Fatalf("contended task finished at %v, want 1.5s", got)
+		}
+	}
+}
+
+func TestSharedProcessorLateArrivalSharing(t *testing.T) {
+	// Task A (work 100, cap 100) runs alone for 0.5s (50 done), then B
+	// (work 25, cap 100) arrives; they share 50/50. B finishes at
+	// 0.5+0.5=1.0s; A's remaining 50-25=25 then runs at 100 → 1.25s.
+	e := NewEngine()
+	sp := NewSharedProcessor(e, "gpu", 100)
+	a := sp.Submit(100, 100, nil, nil)
+	var b *Signal
+	e.Schedule(FromSeconds(0.5), func() {
+		b = sp.Submit(25, 100, nil, nil)
+	})
+	e.Run()
+	if got := Seconds(b.FiredAt()); got < 0.99 || got > 1.01 {
+		t.Fatalf("B finished at %v, want 1.0s", got)
+	}
+	if got := Seconds(a.FiredAt()); got < 1.24 || got > 1.26 {
+		t.Fatalf("A finished at %v, want 1.25s", got)
+	}
+}
+
+func TestSharedProcessorDependencies(t *testing.T) {
+	e := NewEngine()
+	sp := NewSharedProcessor(e, "gpu", 100)
+	dep := NewSignal(e)
+	sig := sp.Submit(100, 100, []*Signal{dep}, nil)
+	e.Schedule(FromSeconds(1), dep.Fire)
+	e.Run()
+	if got := Seconds(sig.FiredAt()); got < 1.99 || got > 2.01 {
+		t.Fatalf("dependent task finished at %v, want 2s", got)
+	}
+}
+
+func TestSharedProcessorUtilization(t *testing.T) {
+	e := NewEngine()
+	sp := NewSharedProcessor(e, "gpu", 100)
+	sp.Submit(50, 50, nil, nil) // runs 1s at half rate
+	e.Run()
+	if u := sp.Utilization(); u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization %v, want 0.5", u)
+	}
+	if sp.Tasks() != 1 || sp.ActiveTasks() != 0 {
+		t.Fatal("task accounting wrong")
+	}
+}
+
+func TestSharedProcessorZeroWork(t *testing.T) {
+	e := NewEngine()
+	sp := NewSharedProcessor(e, "gpu", 100)
+	sig := sp.Submit(0, 100, nil, nil)
+	e.Run()
+	if !sig.Fired() {
+		t.Fatal("zero-work task must complete")
+	}
+}
+
+func TestSharedProcessorInvalidArgsPanic(t *testing.T) {
+	e := NewEngine()
+	sp := NewSharedProcessor(e, "gpu", 100)
+	for _, f := range []func(){
+		func() { sp.Submit(-1, 100, nil, nil) },
+		func() { sp.Submit(1, 0, nil, nil) },
+		func() { NewSharedProcessor(e, "bad", 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: makespan of n equal FIFO tasks equals n*duration regardless
+// of how submissions interleave with run steps.
+func TestPropertyResourceMakespan(t *testing.T) {
+	f := func(n uint8, dur uint16) bool {
+		tasks := int(n%20) + 1
+		d := Time(dur%1000) + 1
+		e := NewEngine()
+		r := NewResource(e, "x")
+		for i := 0; i < tasks; i++ {
+			r.Submit(d, nil)
+		}
+		e.Run()
+		return r.BusyUntil() == Time(tasks)*d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shared-processor completion time for k identical capped
+// tasks equals work/min(cap, capacity/k) within rounding.
+func TestPropertySharedProcessorSymmetric(t *testing.T) {
+	f := func(kRaw uint8, capRaw uint16) bool {
+		k := int(kRaw%6) + 1
+		cap := float64(capRaw%90) + 10 // 10..99
+		e := NewEngine()
+		sp := NewSharedProcessor(e, "gpu", 100)
+		var sigs []*Signal
+		for i := 0; i < k; i++ {
+			sigs = append(sigs, sp.Submit(100, cap, nil, nil))
+		}
+		e.Run()
+		rate := cap
+		if fair := 100.0 / float64(k); fair < rate {
+			rate = fair
+		}
+		want := 100 / rate
+		for _, s := range sigs {
+			got := Seconds(s.FiredAt())
+			if got < want*0.999 || got > want*1.001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceJitterBoundsAndDeterminism(t *testing.T) {
+	mk := func(seed uint64, frac float64) []Time {
+		e := NewEngine()
+		r := NewResource(e, "x")
+		r.SetJitter(seed, frac)
+		var ends []Time
+		for i := 0; i < 20; i++ {
+			r.Submit(1000, func(s, d Time) { ends = append(ends, d-s) })
+		}
+		e.Run()
+		return ends
+	}
+	a := mk(7, 0.5)
+	b := mk(7, 0.5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("seeded jitter must be reproducible")
+		}
+		// Durations stretch within [1x, 2x] for frac 0.5.
+		if a[i] < 1000 || a[i] > 2000 {
+			t.Fatalf("jittered duration %d outside [1000, 2000]", a[i])
+		}
+	}
+	// Different seeds differ somewhere.
+	c := mk(8, 0.5)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should produce different jitter")
+	}
+	// Zero jitter is exact.
+	for _, d := range mk(1, 0) {
+		if d != 1000 {
+			t.Fatal("zero jitter must not stretch")
+		}
+	}
+}
+
+func TestResourceNegativeJitterPanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.SetJitter(1, -0.1)
+}

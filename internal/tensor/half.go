@@ -1,0 +1,91 @@
+package tensor
+
+import "math"
+
+// IEEE-754 binary16 conversion, used by the compressed-offloading
+// extension: evicted layer states can be stored in half precision,
+// halving CPU-side footprint at the cost of quantization error (the
+// compression/accuracy trade-off the paper contrasts offloading
+// against, §II/§VII).
+
+// Float32ToHalf converts f to the nearest binary16 value
+// (round-to-nearest-even), returning its bit pattern.
+func Float32ToHalf(f float32) uint16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xff) - 127 + 15
+	mant := bits & 0x7fffff
+
+	switch {
+	case exp >= 0x1f: // overflow or inf/nan
+		if bits&0x7fffffff > 0x7f800000 {
+			return sign | 0x7e00 // NaN
+		}
+		return sign | 0x7c00 // ±Inf
+	case exp <= 0: // subnormal or zero
+		if exp < -10 {
+			return sign // underflow to ±0
+		}
+		mant |= 0x800000 // implicit leading 1
+		shift := uint32(14 - exp)
+		half := uint16(mant >> shift)
+		// Round to nearest even.
+		rem := mant & ((1 << shift) - 1)
+		halfway := uint32(1) << (shift - 1)
+		if rem > halfway || (rem == halfway && half&1 == 1) {
+			half++
+		}
+		return sign | half
+	default:
+		half := sign | uint16(exp)<<10 | uint16(mant>>13)
+		rem := mant & 0x1fff
+		if rem > 0x1000 || (rem == 0x1000 && half&1 == 1) {
+			half++ // carries propagate correctly into the exponent
+		}
+		return half
+	}
+}
+
+// HalfToFloat32 expands a binary16 bit pattern to float32.
+func HalfToFloat32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	mant := uint32(h & 0x3ff)
+	switch exp {
+	case 0:
+		if mant == 0 {
+			return math.Float32frombits(sign) // ±0
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	case 0x1f:
+		return math.Float32frombits(sign | 0x7f800000 | mant<<13) // inf/nan
+	default:
+		return math.Float32frombits(sign | (exp-15+127)<<23 | mant<<13)
+	}
+}
+
+// ToHalf quantizes t into a half-precision buffer.
+func ToHalf(t *Tensor) []uint16 {
+	out := make([]uint16, t.Size())
+	for i, v := range t.Data() {
+		out[i] = Float32ToHalf(v)
+	}
+	return out
+}
+
+// FromHalf expands a half-precision buffer into t (sizes must match).
+func FromHalf(t *Tensor, hs []uint16) {
+	if len(hs) != t.Size() {
+		panic("tensor: FromHalf size mismatch")
+	}
+	for i, h := range hs {
+		t.Data()[i] = HalfToFloat32(h)
+	}
+}

@@ -1,0 +1,115 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHalfExactValues(t *testing.T) {
+	cases := []struct {
+		f float32
+		h uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7bff}, // largest finite half
+		{float32(math.Inf(1)), 0x7c00},
+		{float32(math.Inf(-1)), 0xfc00},
+	}
+	for _, c := range cases {
+		if got := Float32ToHalf(c.f); got != c.h {
+			t.Errorf("Float32ToHalf(%v) = %#x, want %#x", c.f, got, c.h)
+		}
+		if got := HalfToFloat32(c.h); got != c.f {
+			t.Errorf("HalfToFloat32(%#x) = %v, want %v", c.h, got, c.f)
+		}
+	}
+}
+
+func TestHalfOverflowToInf(t *testing.T) {
+	if got := Float32ToHalf(1e6); got != 0x7c00 {
+		t.Fatalf("1e6 should overflow to +Inf, got %#x", got)
+	}
+	if got := Float32ToHalf(-1e6); got != 0xfc00 {
+		t.Fatalf("-1e6 should overflow to -Inf, got %#x", got)
+	}
+}
+
+func TestHalfNaN(t *testing.T) {
+	h := Float32ToHalf(float32(math.NaN()))
+	if h&0x7c00 != 0x7c00 || h&0x3ff == 0 {
+		t.Fatalf("NaN encoding %#x", h)
+	}
+	if !math.IsNaN(float64(HalfToFloat32(h))) {
+		t.Fatal("NaN must round-trip as NaN")
+	}
+}
+
+func TestHalfSubnormals(t *testing.T) {
+	// Smallest positive half subnormal is 2^-24.
+	tiny := float32(math.Ldexp(1, -24))
+	h := Float32ToHalf(tiny)
+	if h != 0x0001 {
+		t.Fatalf("2^-24 = %#x, want 0x0001", h)
+	}
+	if got := HalfToFloat32(0x0001); got != tiny {
+		t.Fatalf("subnormal round trip %v, want %v", got, tiny)
+	}
+	// Below half the smallest subnormal: flush to zero.
+	if got := Float32ToHalf(float32(math.Ldexp(1, -26))); got != 0 {
+		t.Fatalf("2^-26 should flush to zero, got %#x", got)
+	}
+}
+
+// Property: half-representable values round-trip exactly.
+func TestPropertyHalfRoundTripExact(t *testing.T) {
+	f := func(h uint16) bool {
+		// Skip NaN payload comparisons.
+		if h&0x7c00 == 0x7c00 && h&0x3ff != 0 {
+			return true
+		}
+		return Float32ToHalf(HalfToFloat32(h)) == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantization error is bounded by 2^-11 relative for normal
+// values.
+func TestPropertyHalfRelativeError(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		v := float32(rng.NormFloat64())
+		if v == 0 {
+			return true
+		}
+		back := HalfToFloat32(Float32ToHalf(v))
+		rel := math.Abs(float64(back-v)) / math.Abs(float64(v))
+		return rel <= 1.0/2048+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToHalfFromHalfTensor(t *testing.T) {
+	rng := NewRNG(50)
+	x := Randn(rng, 1, 64)
+	hs := ToHalf(x)
+	y := New(64)
+	FromHalf(y, hs)
+	if !y.AllClose(x, 1e-3, 1e-4) {
+		t.Fatal("tensor half round trip too lossy")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on size mismatch")
+		}
+	}()
+	FromHalf(New(3), hs)
+}

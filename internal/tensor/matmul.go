@@ -1,0 +1,264 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// matmulParallelThreshold is the number of output elements above which
+// MatMul fans out across goroutines. Small products are cheaper on one
+// core.
+const matmulParallelThreshold = 64 * 64
+
+// blockK is the k-dimension blocking factor for cache locality.
+const blockK = 128
+
+// MatMul computes the matrix product of a [m,k] and b [k,n], returning
+// a [m,n] tensor. Batched inputs are supported: if a has rank > 2 its
+// leading dimensions are flattened into rows. The kernel is blocked over
+// k and parallelized over row stripes.
+func MatMul(a, b *Tensor) *Tensor {
+	if b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul rhs must be rank 2, got %v", b.shape))
+	}
+	k := a.Dim(-1)
+	if k != b.Dim(0) {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	m := a.Size() / k
+	n := b.Dim(1)
+	outShape := append(append([]int(nil), a.shape[:len(a.shape)-1]...), n)
+	out := New(outShape...)
+	matmulInto(out.data, a.data, b.data, m, k, n)
+	return out
+}
+
+// MatMulTransB computes a @ b^T where a is [m,k] (leading dims
+// flattened) and b is [n,k]. This is the backward-by-input kernel.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB rhs must be rank 2, got %v", b.shape))
+	}
+	k := a.Dim(-1)
+	if k != b.Dim(1) {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v x %v^T", a.shape, b.shape))
+	}
+	m := a.Size() / k
+	n := b.Dim(0)
+	outShape := append(append([]int(nil), a.shape[:len(a.shape)-1]...), n)
+	out := New(outShape...)
+	parallelRows(m, n, func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			ai := a.data[i*k : (i+1)*k]
+			oi := out.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := b.data[j*k : (j+1)*k]
+				var s float32
+				for p := range ai {
+					s += ai[p] * bj[p]
+				}
+				oi[j] = s
+			}
+		}
+	})
+	return out
+}
+
+// MatMulTransA computes a^T @ b where a is [m,k] and b is [m,n],
+// yielding [k,n]. This is the backward-by-weight kernel.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	k := a.Dim(-1)
+	m := a.Size() / k
+	n := b.Dim(-1)
+	if b.Size()/n != m {
+		panic(fmt.Sprintf("tensor: MatMulTransA row mismatch %v^T x %v", a.shape, b.shape))
+	}
+	out := New(k, n)
+	// Parallelize over stripes of the k output rows; each stripe scans
+	// all m input rows but writes a disjoint region, so no locking.
+	parallelRows(k, n, func(k0, k1 int) {
+		for i := 0; i < m; i++ {
+			ai := a.data[i*k : (i+1)*k]
+			bi := b.data[i*n : (i+1)*n]
+			for kk := k0; kk < k1; kk++ {
+				av := ai[kk]
+				if av == 0 {
+					continue
+				}
+				oi := out.data[kk*n : (kk+1)*n]
+				for j := range bi {
+					oi[j] += av * bi[j]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// matmulInto computes out += a@b with out pre-zeroed, using k-blocking
+// and row-stripe parallelism.
+func matmulInto(out, a, b []float32, m, k, n int) {
+	parallelRows(m, n, func(r0, r1 int) {
+		for kb := 0; kb < k; kb += blockK {
+			kEnd := min(kb+blockK, k)
+			for i := r0; i < r1; i++ {
+				ai := a[i*k : (i+1)*k]
+				oi := out[i*n : (i+1)*n]
+				for p := kb; p < kEnd; p++ {
+					av := ai[p]
+					if av == 0 {
+						continue
+					}
+					bp := b[p*n : (p+1)*n]
+					for j := range bp {
+						oi[j] += av * bp[j]
+					}
+				}
+			}
+		}
+	})
+}
+
+// parallelRows splits [0, rows) into contiguous stripes and runs f on
+// each stripe, using up to GOMAXPROCS goroutines when the output is
+// large enough to amortize the fan-out.
+func parallelRows(rows, cols int, f func(r0, r1 int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if rows*cols < matmulParallelThreshold || workers <= 1 || rows == 1 {
+		f(0, rows)
+		return
+	}
+	if workers > rows {
+		workers = rows
+	}
+	stripe := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for r0 := 0; r0 < rows; r0 += stripe {
+		r1 := min(r0+stripe, rows)
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			f(r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+// BatchedMatMul multiplies a [batch,m,k] by b [batch,k,n] producing
+// [batch,m,n]. Used by attention (scores and context products).
+func BatchedMatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 3 || b.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: BatchedMatMul wants rank-3 operands, got %v x %v", a.shape, b.shape))
+	}
+	batch, m, k := a.shape[0], a.shape[1], a.shape[2]
+	if b.shape[0] != batch || b.shape[1] != k {
+		panic(fmt.Sprintf("tensor: BatchedMatMul shape mismatch %v x %v", a.shape, b.shape))
+	}
+	n := b.shape[2]
+	out := New(batch, m, n)
+	var wg sync.WaitGroup
+	for bi := 0; bi < batch; bi++ {
+		wg.Add(1)
+		go func(bi int) {
+			defer wg.Done()
+			ab := a.data[bi*m*k : (bi+1)*m*k]
+			bb := b.data[bi*k*n : (bi+1)*k*n]
+			ob := out.data[bi*m*n : (bi+1)*m*n]
+			for i := 0; i < m; i++ {
+				ai := ab[i*k : (i+1)*k]
+				oi := ob[i*n : (i+1)*n]
+				for p := 0; p < k; p++ {
+					av := ai[p]
+					if av == 0 {
+						continue
+					}
+					bp := bb[p*n : (p+1)*n]
+					for j := range bp {
+						oi[j] += av * bp[j]
+					}
+				}
+			}
+		}(bi)
+	}
+	wg.Wait()
+	return out
+}
+
+// BatchedMatMulTransB multiplies a [batch,m,k] by transpose of
+// b [batch,n,k] producing [batch,m,n]. Attention uses this for Q@K^T.
+func BatchedMatMulTransB(a, b *Tensor) *Tensor {
+	if a.Rank() != 3 || b.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: BatchedMatMulTransB wants rank-3 operands, got %v x %v", a.shape, b.shape))
+	}
+	batch, m, k := a.shape[0], a.shape[1], a.shape[2]
+	if b.shape[0] != batch || b.shape[2] != k {
+		panic(fmt.Sprintf("tensor: BatchedMatMulTransB shape mismatch %v x %v^T", a.shape, b.shape))
+	}
+	n := b.shape[1]
+	out := New(batch, m, n)
+	var wg sync.WaitGroup
+	for bi := 0; bi < batch; bi++ {
+		wg.Add(1)
+		go func(bi int) {
+			defer wg.Done()
+			ab := a.data[bi*m*k : (bi+1)*m*k]
+			bb := b.data[bi*n*k : (bi+1)*n*k]
+			ob := out.data[bi*m*n : (bi+1)*m*n]
+			for i := 0; i < m; i++ {
+				ai := ab[i*k : (i+1)*k]
+				oi := ob[i*n : (i+1)*n]
+				for j := 0; j < n; j++ {
+					bj := bb[j*k : (j+1)*k]
+					var s float32
+					for p := range ai {
+						s += ai[p] * bj[p]
+					}
+					oi[j] = s
+				}
+			}
+		}(bi)
+	}
+	wg.Wait()
+	return out
+}
+
+// BatchedMatMulTransA multiplies transpose of a [batch,m,k] by
+// b [batch,m,n] producing [batch,k,n]. Attention backward uses this.
+func BatchedMatMulTransA(a, b *Tensor) *Tensor {
+	if a.Rank() != 3 || b.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: BatchedMatMulTransA wants rank-3 operands, got %v x %v", a.shape, b.shape))
+	}
+	batch, m, k := a.shape[0], a.shape[1], a.shape[2]
+	if b.shape[0] != batch || b.shape[1] != m {
+		panic(fmt.Sprintf("tensor: BatchedMatMulTransA shape mismatch %v^T x %v", a.shape, b.shape))
+	}
+	n := b.shape[2]
+	out := New(batch, k, n)
+	var wg sync.WaitGroup
+	for bi := 0; bi < batch; bi++ {
+		wg.Add(1)
+		go func(bi int) {
+			defer wg.Done()
+			ab := a.data[bi*m*k : (bi+1)*m*k]
+			bb := b.data[bi*m*n : (bi+1)*m*n]
+			ob := out.data[bi*k*n : (bi+1)*k*n]
+			for i := 0; i < m; i++ {
+				ai := ab[i*k : (i+1)*k]
+				bi2 := bb[i*n : (i+1)*n]
+				for kk := 0; kk < k; kk++ {
+					av := ai[kk]
+					if av == 0 {
+						continue
+					}
+					oi := ob[kk*n : (kk+1)*n]
+					for j := range bi2 {
+						oi[j] += av * bi2[j]
+					}
+				}
+			}
+		}(bi)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,220 @@
+// Package trace records execution timelines from the simulated
+// hardware — the data behind Figure 4's computation/communication
+// overlap plot — and computes overlap statistics. Traces export to
+// Chrome trace-event JSON for visual inspection.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"stronghold/internal/sim"
+)
+
+// Kind classifies a span.
+type Kind string
+
+// Span kinds recorded by the engines.
+const (
+	KindCompute  Kind = "compute"   // GPU kernel execution
+	KindH2D      Kind = "h2d"       // host→device transfer
+	KindD2H      Kind = "d2h"       // device→host transfer
+	KindOptimize Kind = "optimizer" // parameter update
+	KindNVMe     Kind = "nvme"      // secondary-storage I/O
+	KindNet      Kind = "network"   // cross-node communication
+)
+
+// Span is one timed event on a named track.
+type Span struct {
+	Track string // e.g. "gpu", "pcie-h2d", "cpu-opt"
+	Name  string // e.g. "fp layer 12"
+	Kind  Kind
+	Layer int // layer index, -1 when not applicable
+	Start sim.Time
+	End   sim.Time
+}
+
+// Duration returns the span's length.
+func (s Span) Duration() sim.Time { return s.End - s.Start }
+
+// Trace accumulates spans.
+type Trace struct {
+	spans []Span
+}
+
+// New returns an empty trace.
+func New() *Trace { return &Trace{} }
+
+// Add records a span. End must not precede Start.
+func (t *Trace) Add(s Span) {
+	if s.End < s.Start {
+		panic(fmt.Sprintf("trace: span %q ends (%d) before it starts (%d)", s.Name, s.End, s.Start))
+	}
+	t.spans = append(t.spans, s)
+}
+
+// Spans returns all recorded spans in insertion order.
+func (t *Trace) Spans() []Span { return t.spans }
+
+// Len returns the number of spans.
+func (t *Trace) Len() int { return len(t.spans) }
+
+// ByKind returns the spans of one kind.
+func (t *Trace) ByKind(k Kind) []Span {
+	var out []Span
+	for _, s := range t.spans {
+		if s.Kind == k {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Busy returns the union-length of all spans of the given kinds —
+// wall-clock time during which at least one such span was active.
+func (t *Trace) Busy(kinds ...Kind) sim.Time {
+	want := map[Kind]bool{}
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var iv [][2]sim.Time
+	for _, s := range t.spans {
+		if want[s.Kind] {
+			iv = append(iv, [2]sim.Time{s.Start, s.End})
+		}
+	}
+	return unionLength(iv)
+}
+
+// OverlapFraction returns the fraction of communication time (kinds b)
+// hidden under computation time (kinds a): |A ∩ B| / |B|. This is the
+// quantity Figure 4 demonstrates and the P1/P2 models maximize.
+func (t *Trace) OverlapFraction(a []Kind, b []Kind) float64 {
+	busyB := t.Busy(b...)
+	if busyB == 0 {
+		return 1
+	}
+	wantA := map[Kind]bool{}
+	for _, k := range a {
+		wantA[k] = true
+	}
+	wantB := map[Kind]bool{}
+	for _, k := range b {
+		wantB[k] = true
+	}
+	var ivA, ivB [][2]sim.Time
+	for _, s := range t.spans {
+		if wantA[s.Kind] {
+			ivA = append(ivA, [2]sim.Time{s.Start, s.End})
+		}
+		if wantB[s.Kind] {
+			ivB = append(ivB, [2]sim.Time{s.Start, s.End})
+		}
+	}
+	inter := intersectionLength(ivA, ivB)
+	return float64(inter) / float64(busyB)
+}
+
+// Makespan returns the end of the last span.
+func (t *Trace) Makespan() sim.Time {
+	var end sim.Time
+	for _, s := range t.spans {
+		if s.End > end {
+			end = s.End
+		}
+	}
+	return end
+}
+
+// unionLength computes the total covered length of intervals.
+func unionLength(iv [][2]sim.Time) sim.Time {
+	if len(iv) == 0 {
+		return 0
+	}
+	sort.Slice(iv, func(i, j int) bool { return iv[i][0] < iv[j][0] })
+	var total sim.Time
+	curStart, curEnd := iv[0][0], iv[0][1]
+	for _, x := range iv[1:] {
+		if x[0] > curEnd {
+			total += curEnd - curStart
+			curStart, curEnd = x[0], x[1]
+		} else if x[1] > curEnd {
+			curEnd = x[1]
+		}
+	}
+	return total + (curEnd - curStart)
+}
+
+// intersectionLength computes |union(a) ∩ union(b)|.
+func intersectionLength(a, b [][2]sim.Time) sim.Time {
+	a = normalize(a)
+	b = normalize(b)
+	var total sim.Time
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := max(a[i][0], b[j][0])
+		hi := min(a[i][1], b[j][1])
+		if hi > lo {
+			total += hi - lo
+		}
+		if a[i][1] < b[j][1] {
+			i++
+		} else {
+			j++
+		}
+	}
+	return total
+}
+
+// normalize sorts and merges intervals.
+func normalize(iv [][2]sim.Time) [][2]sim.Time {
+	if len(iv) == 0 {
+		return nil
+	}
+	sorted := append([][2]sim.Time(nil), iv...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i][0] < sorted[j][0] })
+	out := [][2]sim.Time{sorted[0]}
+	for _, x := range sorted[1:] {
+		last := &out[len(out)-1]
+		if x[0] <= last[1] {
+			if x[1] > last[1] {
+				last[1] = x[1]
+			}
+		} else {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// chromeEvent is one Chrome trace-event entry.
+type chromeEvent struct {
+	Name  string `json:"name"`
+	Cat   string `json:"cat"`
+	Phase string `json:"ph"`
+	TS    int64  `json:"ts"`  // microseconds
+	Dur   int64  `json:"dur"` // microseconds
+	PID   int    `json:"pid"`
+	TID   int    `json:"tid"`
+}
+
+// ChromeJSON serializes the trace in Chrome trace-event format
+// (loadable in chrome://tracing or Perfetto).
+func (t *Trace) ChromeJSON() ([]byte, error) {
+	tracks := map[string]int{}
+	events := make([]chromeEvent, 0, len(t.spans))
+	for _, s := range t.spans {
+		tid, ok := tracks[s.Track]
+		if !ok {
+			tid = len(tracks)
+			tracks[s.Track] = tid
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Cat: string(s.Kind), Phase: "X",
+			TS: s.Start / 1000, Dur: max(s.Duration()/1000, 1),
+			PID: 0, TID: tid,
+		})
+	}
+	return json.MarshalIndent(events, "", " ")
+}

@@ -1,0 +1,17 @@
+package stronghold
+
+import "stronghold/internal/optim"
+
+// Schedule maps a 0-based training step to a learning rate.
+type Schedule = optim.Schedule
+
+// ConstantLR holds the learning rate fixed.
+type ConstantLR = optim.Constant
+
+// WarmupCosine ramps linearly to Base over WarmupSteps and decays along
+// a half cosine to MinRate at TotalSteps — the Megatron-LM schedule the
+// paper's training setup follows (§V-B).
+type WarmupCosine = optim.WarmupCosine
+
+// WarmupLinear ramps up then decays linearly.
+type WarmupLinear = optim.WarmupLinear

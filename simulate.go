@@ -1,0 +1,225 @@
+package stronghold
+
+import (
+	"fmt"
+
+	"stronghold/internal/baselines"
+	"stronghold/internal/cluster"
+	"stronghold/internal/core"
+	"stronghold/internal/hw"
+	"stronghold/internal/modelcfg"
+	"stronghold/internal/perf"
+	"stronghold/internal/sim"
+	"stronghold/internal/trace"
+)
+
+// Method selects a training system in the simulation API.
+type Method = modelcfg.Method
+
+// Re-exported method constants (§V-C's comparison set).
+const (
+	Megatron         = modelcfg.Megatron
+	L2L              = modelcfg.L2L
+	ZeROOffload      = modelcfg.ZeROOffload
+	ZeROInfinity     = modelcfg.ZeROInfinity
+	ZeROInfinityNVMe = modelcfg.ZeROInfinityNVMe
+	Stronghold       = modelcfg.Stronghold
+	StrongholdNVMe   = modelcfg.StrongholdNVMe
+	ZeRO2            = modelcfg.ZeRO2
+	ZeRO3            = modelcfg.ZeRO3
+)
+
+// Platform selects an evaluation platform (§V-A).
+type Platform int
+
+const (
+	// V100 is the single-node 32 GB V100 server.
+	V100 Platform = iota
+	// A10Cluster is the 8-node 24 GB A10 cluster.
+	A10Cluster
+)
+
+func (p Platform) spec() (hw.Platform, error) {
+	switch p {
+	case V100:
+		return hw.V100Platform(), nil
+	case A10Cluster:
+		return hw.A10ClusterPlatform(), nil
+	}
+	return hw.Platform{}, fmt.Errorf("stronghold: unknown platform %d", int(p))
+}
+
+// SimConfig describes one simulated training setup at paper scale.
+type SimConfig struct {
+	// Model shape: either set SizeBillions (layers derived at the given
+	// Hidden) or Layers directly.
+	SizeBillions float64
+	Layers       int
+	Hidden       int // default 2560
+	BatchSize    int // per GPU; default 4
+	Platform     Platform
+	Method       Method
+	// Window is the STRONGHOLD working-window size; 0 solves it
+	// analytically (§III-D).
+	Window int
+	// Streams is the multi-stream worker count; 0 = auto (§IV-A).
+	Streams int
+	// ModelParallel shards layers across GPUs (Table I's MP column).
+	ModelParallel int
+	// TransferJitter adds deterministic multiplicative jitter (up to 2x
+	// the fraction) to every PCIe transfer — for robustness studies of
+	// how the window absorbs variability (STRONGHOLD methods only).
+	TransferJitter float64
+	// LayerScale, when non-nil (length = Layers), scales each layer's
+	// compute and transfer volume — heterogeneous models (§III-B).
+	LayerScale []float64
+}
+
+func (c SimConfig) resolve() (modelcfg.Config, hw.Platform, error) {
+	plat, err := c.Platform.spec()
+	if err != nil {
+		return modelcfg.Config{}, hw.Platform{}, err
+	}
+	hidden := c.Hidden
+	if hidden == 0 {
+		hidden = 2560
+	}
+	mp := c.ModelParallel
+	if mp == 0 {
+		mp = 1
+	}
+	var cfg modelcfg.Config
+	switch {
+	case c.Layers > 0:
+		cfg = modelcfg.NewConfig(c.Layers, hidden, 16)
+		cfg.ModelParallel = mp
+	case c.SizeBillions > 0:
+		cfg = modelcfg.ConfigForSize(c.SizeBillions, hidden, mp)
+	default:
+		return modelcfg.Config{}, hw.Platform{}, fmt.Errorf("stronghold: set SizeBillions or Layers")
+	}
+	if c.BatchSize > 0 {
+		cfg.BatchSize = c.BatchSize
+	}
+	return cfg, plat, cfg.Validate()
+}
+
+// SimResult reports one simulated steady-state training iteration.
+type SimResult struct {
+	Method        Method
+	ModelBillions float64
+	IterSeconds   float64
+	SamplesPerSec float64
+	TFLOPS        float64
+	GPUPeakGB     float64
+	// Overlap is the fraction of CPU-GPU transfer time hidden under
+	// compute (STRONGHOLD runs with tracing only).
+	Overlap float64
+	OOM     bool
+	Detail  string
+}
+
+// Simulate runs one steady-state iteration of the configured method.
+func Simulate(c SimConfig) (SimResult, error) {
+	cfg, plat, err := c.resolve()
+	if err != nil {
+		return SimResult{}, err
+	}
+	m := perf.NewModel(cfg, plat)
+	var r perf.IterationResult
+	var tr *trace.Trace
+	switch c.Method {
+	case Stronghold, StrongholdNVMe:
+		e := core.NewEngine(m)
+		e.Window = c.Window
+		if c.Streams > 0 {
+			e.Feat.Streams = c.Streams
+		}
+		e.Feat.UseNVMe = c.Method == StrongholdNVMe
+		e.TransferJitter = c.TransferJitter
+		e.LayerScale = c.LayerScale
+		tr = trace.New()
+		r = e.Run(3, tr)
+	case ZeRO2, ZeRO3:
+		r = cluster.Run(cluster.Setup{Plat: plat, Cfg: cfg, Method: c.Method, HeteroCollectives: true})
+	default:
+		r = baselines.Run(c.Method, m)
+	}
+	out := SimResult{
+		Method:        c.Method,
+		ModelBillions: cfg.ParamsBillion(),
+		OOM:           r.OOM,
+		Detail:        r.OOMDetail,
+	}
+	if !r.OOM {
+		out.IterSeconds = sim.Seconds(r.IterTime)
+		out.SamplesPerSec = r.Throughput(cfg.BatchSize)
+		out.TFLOPS = r.TFLOPS(m.TotalFlops())
+		out.GPUPeakGB = float64(r.GPUPeak) / float64(hw.GB)
+		out.Overlap = r.Overlap
+	}
+	return out, nil
+}
+
+// MaxTrainableBillions returns the largest model (in billions of
+// parameters) the method can train on the platform, sweeping the §V-B
+// configuration family — the Figure 6 experiment for one method.
+func MaxTrainableBillions(method Method, platform Platform) (float64, error) {
+	plat, err := platform.spec()
+	if err != nil {
+		return 0, err
+	}
+	mp := plat.Nodes
+	best := 0.0
+	for _, h := range []int{2560, 4096, 5120} {
+		for _, bs := range []int{2, 4} {
+			b := modelcfg.LargestTrainable(method, h, mp, []int{bs}, 8,
+				plat.GPU.MemBytes, plat.CPU.UsableMemBytes, plat.NVMe.Bytes)
+			if b > best {
+				best = b
+			}
+		}
+	}
+	return best, nil
+}
+
+// CommVolumeRatio evaluates the §III-F closed-form traffic model:
+// V_mp/V_dp for converting ways-way model parallelism into ways-way
+// data parallelism on an n-layer, hidden-wide Transformer at the given
+// per-GPU batch size. Values above 1 mean data parallelism moves less
+// data.
+func CommVolumeRatio(layers, hidden, batchSize, ways int) float64 {
+	cfg := modelcfg.NewConfig(layers, hidden, 16)
+	cfg.BatchSize = batchSize
+	return modelcfg.VolumeRatio(cfg, ways)
+}
+
+// WindowPlan is the analytical model's output for a configuration.
+type WindowPlan struct {
+	Window        int  // chosen m
+	MForward      int  // P1 minimum
+	MBackward     int  // P2 minimum
+	MOptimizer    int  // Eq. 3 minimum
+	MemoryBound   bool // clamped by S_avail
+	AsyncFeasible bool // Eq. 5
+	Streams       int  // §IV-A worker count the warm-up would pick
+}
+
+// PlanWindow runs warm-up profiling plus the §III-D analytical model
+// and returns the working-window decision without simulating training.
+func PlanWindow(c SimConfig) (WindowPlan, error) {
+	cfg, plat, err := c.resolve()
+	if err != nil {
+		return WindowPlan{}, err
+	}
+	e := core.NewEngine(perf.NewModel(cfg, plat))
+	d, err := e.SolvedWindow()
+	if err != nil {
+		return WindowPlan{}, err
+	}
+	return WindowPlan{
+		Window: d.M, MForward: d.MFP, MBackward: d.MBP, MOptimizer: d.MOpt,
+		MemoryBound: d.MemoryBound, AsyncFeasible: d.AsyncFeasible,
+		Streams: e.PickStreams(d.M),
+	}, nil
+}
