@@ -1,0 +1,180 @@
+// Package analysis is a small, stdlib-only static-analysis framework
+// purpose-built for this repository. It exists to turn the simulator's
+// prose contracts — the virtual clock, the single-goroutine event
+// engine, the signal-chained asynchronous copies, the user-level buffer
+// discipline — into machine-checked invariants. The general-purpose
+// linters cannot know that a dropped *sim.Signal silently deletes a
+// dependency edge from an offloading schedule, or that wall-clock time
+// inside a simulation package forfeits the paper's <3% run-to-run
+// variance claim; the analyzers registered here do.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis at
+// a fraction of its surface: an Analyzer bundles a name, a doc string
+// and a Run function; a Pass hands the Run function one type-checked
+// package; diagnostics carry positions and can be suppressed at the
+// source line with a `//vet:ignore <rule>[,<rule>...] <reason>`
+// comment on, or immediately above, the offending line.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Pass carries everything an analyzer may inspect about one package.
+type Pass struct {
+	Fset    *token.FileSet
+	PkgPath string
+	Pkg     *types.Package
+	Files   []*ast.File
+	Info    *types.Info
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos for the running analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	Name string // short rule name, used in diagnostics and //vet:ignore
+	Doc  string // one-line description shown by `stronghold-vet -list`
+	Run  func(*Pass)
+}
+
+// Runner applies a set of analyzers to packages and collects
+// diagnostics, honoring //vet:ignore suppressions.
+type Runner struct {
+	Analyzers []*Analyzer
+}
+
+// NewRunner returns a runner over the default rule set.
+func NewRunner() *Runner { return &Runner{Analyzers: DefaultAnalyzers()} }
+
+// Run applies every analyzer to pkg and returns the surviving
+// (non-suppressed) diagnostics sorted by position.
+func (r *Runner) Run(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range r.Analyzers {
+		pass := &Pass{
+			Fset:     pkg.Fset,
+			PkgPath:  pkg.Path,
+			Pkg:      pkg.Types,
+			Files:    pkg.Files,
+			Info:     pkg.Info,
+			analyzer: a,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	diags = filterSuppressed(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// ignoreMarker is the suppression comment prefix.
+const ignoreMarker = "//vet:ignore"
+
+// suppressions maps filename → line → set of suppressed rule names. A
+// marker suppresses its own line and the line directly below it, so it
+// works both as a trailing comment and as a standalone line above the
+// finding.
+func suppressions(pkg *Package) map[string]map[int]map[string]bool {
+	out := make(map[string]map[int]map[string]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, ignoreMarker) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreMarker))
+				// First field is the comma-separated rule list; the
+				// remainder is the human justification (required by
+				// convention, not enforced here).
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					out[pos.Filename] = byLine
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					rules := byLine[line]
+					if rules == nil {
+						rules = make(map[string]bool)
+						byLine[line] = rules
+					}
+					for _, r := range strings.Split(fields[0], ",") {
+						if r = strings.TrimSpace(r); r != "" {
+							rules[r] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// filterSuppressed drops diagnostics covered by a //vet:ignore marker.
+func filterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
+	sup := suppressions(pkg)
+	kept := diags[:0]
+	for _, d := range diags {
+		if rules := sup[d.Pos.Filename][d.Pos.Line]; rules[d.Rule] || rules["all"] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// DefaultAnalyzers returns every repo rule in reporting order.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		SimTime,
+		EnginePure,
+		DroppedSignal,
+		BufDiscipline,
+		AnyStyle,
+	}
+}

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks one fixture package under testdata/src.
+func loadFixture(t *testing.T, loader *Loader, name string) *Package {
+	t.Helper()
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s has type error: %v", name, terr)
+	}
+	return pkg
+}
+
+// wantDiags extracts `// want "regexp"` expectations from the fixture,
+// keyed by file:line.
+func wantDiags(t *testing.T, pkg *Package) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[string][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "want ")
+				if idx < 0 {
+					continue
+				}
+				lit := strings.TrimSpace(c.Text[idx+len("want "):])
+				pattern, err := strconv.Unquote(lit)
+				if err != nil {
+					t.Fatalf("bad want comment %q: %v", c.Text, err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("bad want pattern %q: %v", pattern, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				wants[key] = append(wants[key], re)
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture asserts the analyzer produces exactly the fixture's
+// expected diagnostics: every want matched, nothing unexpected.
+func runFixture(t *testing.T, loader *Loader, a *Analyzer, name string) {
+	t.Helper()
+	pkg := loadFixture(t, loader, name)
+	wants := wantDiags(t, pkg)
+	runner := &Runner{Analyzers: []*Analyzer{a}}
+	for _, d := range runner.Run(pkg) {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for i, re := range wants[key] {
+			if re.MatchString(d.Message) {
+				wants[key] = append(wants[key][:i], wants[key][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", name, d)
+		}
+	}
+	for key, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s: missing diagnostic at %s matching %q", name, key, re)
+		}
+	}
+}
+
+func newTestLoader(t *testing.T) *Loader {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	return loader
+}
+
+func TestSimTime(t *testing.T) {
+	loader := newTestLoader(t)
+	runFixture(t, loader, SimTime, "simtime_bad")
+	runFixture(t, loader, SimTime, "simtime_clean")
+}
+
+func TestEnginePure(t *testing.T) {
+	loader := newTestLoader(t)
+	runFixture(t, loader, EnginePure, "enginepure_bad")
+	runFixture(t, loader, EnginePure, "enginepure_clean")
+}
+
+func TestDroppedSignal(t *testing.T) {
+	loader := newTestLoader(t)
+	runFixture(t, loader, DroppedSignal, "droppedsignal_bad")
+	runFixture(t, loader, DroppedSignal, "droppedsignal_clean")
+}
+
+func TestBufDiscipline(t *testing.T) {
+	loader := newTestLoader(t)
+	runFixture(t, loader, BufDiscipline, "bufdiscipline_bad")
+	runFixture(t, loader, BufDiscipline, "bufdiscipline_clean")
+}
+
+func TestAnyStyle(t *testing.T) {
+	loader := newTestLoader(t)
+	runFixture(t, loader, AnyStyle, "anystyle_bad")
+	runFixture(t, loader, AnyStyle, "anystyle_clean")
+}
+
+// TestSuppression exercises //vet:ignore in both positions: trailing
+// and on the preceding line. Only the unannotated violation survives.
+func TestSuppression(t *testing.T) {
+	loader := newTestLoader(t)
+	runFixture(t, loader, DroppedSignal, "suppress")
+}
+
+// TestRealTreeIsClean is the dogfooding gate in test form: the whole
+// module must pass every rule (mirroring the CI stronghold-vet run).
+func TestRealTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	loader := newTestLoader(t)
+	paths, err := loader.ModulePackages()
+	if err != nil {
+		t.Fatalf("ModulePackages: %v", err)
+	}
+	if len(paths) < 10 {
+		t.Fatalf("suspiciously few packages found: %v", paths)
+	}
+	runner := NewRunner()
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", path, terr)
+		}
+		for _, d := range runner.Run(pkg) {
+			t.Errorf("%s: %s", path, d)
+		}
+	}
+}
+
+// TestDefaultAnalyzers pins the published rule set.
+func TestDefaultAnalyzers(t *testing.T) {
+	want := []string{"simtime", "enginepure", "droppedsignal", "bufdiscipline", "anystyle"}
+	got := DefaultAnalyzers()
+	if len(got) != len(want) {
+		t.Fatalf("got %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing doc or run", a.Name)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// AnyStyle enforces the modern spelling of the empty interface. The
+// repo targets Go ≥ 1.18 where `any` is the canonical alias; a mixed
+// tree reads as two vintages of code.
+var AnyStyle = &Analyzer{
+	Name: "anystyle",
+	Doc:  "require any instead of interface{}",
+	Run:  runAnyStyle,
+}
+
+func runAnyStyle(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			it, ok := n.(*ast.InterfaceType)
+			if !ok {
+				return true
+			}
+			if it.Methods == nil || len(it.Methods.List) == 0 {
+				pass.Reportf(it.Pos(), "use any instead of interface{}")
+			}
+			return true
+		})
+	}
+}

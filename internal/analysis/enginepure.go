@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// EnginePure enforces the single-goroutine event-engine contract. The
+// whole simulation — engine, resources, signals, machines, streams —
+// runs on the calling goroutine; that is the property that makes event
+// order, and therefore every reported figure, deterministic. Any file
+// that imports the sim or hw package must not start goroutines, build
+// or operate on channels, or reach for sync primitives; and nowhere in
+// the tree may a goroutine capture (or be handed) an engine-owning
+// value, because a second goroutine touching the event heap is a data
+// race that no -race run over deterministic tests will reliably catch.
+//
+// The functional trainers (real goroutine-parallel computation living
+// beside the simulation code) stay legal: their files do not import
+// sim/hw, and their concurrency never touches engine types.
+var EnginePure = &Analyzer{
+	Name: "enginepure",
+	Doc:  "forbid goroutines, channels and sync primitives in engine-owning files, and engine captures in any goroutine",
+	Run:  runEnginePure,
+}
+
+func runEnginePure(pass *Pass) {
+	for _, f := range pass.Files {
+		inScope := fileImportsSim(f)
+		if inScope {
+			for _, imp := range f.Imports {
+				switch strings.Trim(imp.Path.Value, `"`) {
+				case "sync", "sync/atomic":
+					pass.Reportf(imp.Pos(),
+						"import of %s in an engine-owning file: the simulation is single-goroutine by contract",
+						strings.Trim(imp.Path.Value, `"`))
+				}
+			}
+		}
+		// Selector sels are skipped during capture analysis: a field
+		// reference x.f resolves f to the field object, which is not a
+		// captured variable.
+		selSels := make(map[*ast.Ident]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				selSels[sel.Sel] = true
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if !reportEngineCapture(pass, n, selSels) && inScope {
+					pass.Reportf(n.Pos(), "go statement in an engine-owning file: the simulation is single-goroutine by contract")
+				}
+			case *ast.ChanType:
+				if inScope {
+					pass.Reportf(n.Pos(), "channel in an engine-owning file: express dependencies with sim.Signal, not CSP")
+				}
+			case *ast.SendStmt:
+				if inScope {
+					pass.Reportf(n.Pos(), "channel send in an engine-owning file")
+				}
+			case *ast.UnaryExpr:
+				if inScope && n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive in an engine-owning file")
+				}
+			case *ast.SelectStmt:
+				if inScope {
+					pass.Reportf(n.Pos(), "select statement in an engine-owning file")
+				}
+			case *ast.RangeStmt:
+				if inScope {
+					if tv, ok := pass.Info.Types[n.X]; ok {
+						if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+							pass.Reportf(n.Pos(), "range over channel in an engine-owning file")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// reportEngineCapture flags a goroutine that shares an engine-owning
+// value — as a call argument, a method receiver, or a closed-over
+// variable — and reports whether it found one.
+func reportEngineCapture(pass *Pass, g *ast.GoStmt, selSels map[*ast.Ident]bool) bool {
+	call := g.Call
+	for _, arg := range call.Args {
+		if tv, ok := pass.Info.Types[arg]; ok && containsEngineType(tv.Type) {
+			pass.Reportf(arg.Pos(), "goroutine receives %s: engine-owning values must stay on the simulation goroutine",
+				engineTypeString(tv.Type))
+			return true
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if tv, ok := pass.Info.Types[sel.X]; ok && containsEngineType(tv.Type) {
+			pass.Reportf(sel.Pos(), "goroutine runs a method on %s: engine-owning values must stay on the simulation goroutine",
+				engineTypeString(tv.Type))
+			return true
+		}
+	}
+	lit, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || selSels[id] {
+			return true
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true // declared inside the goroutine: not a capture
+		}
+		if containsEngineType(obj.Type()) {
+			pass.Reportf(id.Pos(), "goroutine closure captures %q (%s): engine-owning values must stay on the simulation goroutine",
+				id.Name, engineTypeString(obj.Type()))
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

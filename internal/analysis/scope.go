@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The simulator contract is anchored on two packages: the event engine
+// and the hardware models built on it. Paths are matched by suffix so
+// the rules survive a module rename.
+const (
+	simPkgSuffix = "internal/sim"
+	hwPkgSuffix  = "internal/hw"
+	memPkgSuffix = "internal/mem"
+)
+
+func isSimPkgPath(path string) bool { return strings.HasSuffix(path, simPkgSuffix) }
+func isHwPkgPath(path string) bool  { return strings.HasSuffix(path, hwPkgSuffix) }
+func isMemPkgPath(path string) bool { return strings.HasSuffix(path, memPkgSuffix) }
+
+// isSimulationPkg reports whether the pass's package is part of the
+// deterministic simulation: the engine itself, the hardware models, or
+// any package that builds directly on either.
+func isSimulationPkg(pass *Pass) bool {
+	if isSimPkgPath(pass.PkgPath) || isHwPkgPath(pass.PkgPath) {
+		return true
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		if isSimPkgPath(imp.Path()) || isHwPkgPath(imp.Path()) {
+			return true
+		}
+	}
+	return false
+}
+
+// fileImportsSim reports whether one file imports the sim or hw
+// package — the file-level scope for the enginepure rule, chosen so
+// that the functional trainers (real goroutine-parallel computation in
+// the same package as simulation code, but in files that never touch
+// the engine) stay out of scope.
+func fileImportsSim(f *ast.File) bool {
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if isSimPkgPath(path) || isHwPkgPath(path) {
+			return true
+		}
+	}
+	return false
+}
+
+// engineTypeNames are the single-goroutine simulation types: sharing
+// one of these across goroutines breaks the determinism contract.
+var engineTypeNames = map[string]map[string]bool{
+	simPkgSuffix: {"Engine": true, "Resource": true, "Pool": true, "Signal": true, "SharedProcessor": true},
+	hwPkgSuffix:  {"Machine": true, "Stream": true},
+}
+
+// isEngineNamed reports whether named is one of the engine types.
+func isEngineNamed(named *types.Named) bool {
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	for suffix, names := range engineTypeNames {
+		if strings.HasSuffix(obj.Pkg().Path(), suffix) && names[obj.Name()] {
+			return true
+		}
+	}
+	return false
+}
+
+// containsEngineType reports whether t is, points to, or structurally
+// contains an engine type (so capturing a struct that embeds a
+// *hw.Machine is as flagged as capturing the machine itself).
+func containsEngineType(t types.Type) bool {
+	return containsEngine(t, make(map[types.Type]bool))
+}
+
+func containsEngine(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Named:
+		if isEngineNamed(u) {
+			return true
+		}
+		return containsEngine(u.Underlying(), seen)
+	case *types.Pointer:
+		return containsEngine(u.Elem(), seen)
+	case *types.Slice:
+		return containsEngine(u.Elem(), seen)
+	case *types.Array:
+		return containsEngine(u.Elem(), seen)
+	case *types.Map:
+		return containsEngine(u.Key(), seen) || containsEngine(u.Elem(), seen)
+	case *types.Chan:
+		return containsEngine(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsEngine(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// engineTypeString names the engine type inside t for diagnostics
+// (best effort; falls back to t's own string).
+func engineTypeString(t types.Type) string {
+	var found string
+	var walk func(types.Type, map[types.Type]bool)
+	walk = func(t types.Type, seen map[types.Type]bool) {
+		if t == nil || seen[t] || found != "" {
+			return
+		}
+		seen[t] = true
+		switch u := t.(type) {
+		case *types.Named:
+			if isEngineNamed(u) {
+				obj := u.Obj()
+				parts := strings.Split(obj.Pkg().Path(), "/")
+				found = parts[len(parts)-1] + "." + obj.Name()
+				return
+			}
+			walk(u.Underlying(), seen)
+		case *types.Pointer:
+			walk(u.Elem(), seen)
+		case *types.Slice:
+			walk(u.Elem(), seen)
+		case *types.Array:
+			walk(u.Elem(), seen)
+		case *types.Map:
+			walk(u.Key(), seen)
+			walk(u.Elem(), seen)
+		case *types.Chan:
+			walk(u.Elem(), seen)
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				walk(u.Field(i).Type(), seen)
+			}
+		}
+	}
+	walk(t, make(map[types.Type]bool))
+	if found == "" {
+		return t.String()
+	}
+	return found
+}
+
+// pkgFuncUse resolves a selector to a package-level function and
+// returns its package path and name (empty strings when sel is a
+// method call or not a function).
+func pkgFuncUse(pass *Pass, sel *ast.SelectorExpr) (pkgPath, name string) {
+	if _, isMethod := pass.Info.Selections[sel]; isMethod {
+		return "", ""
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
+}
+
+// methodCallee resolves a call to a concrete method and returns the
+// receiver's named type and the method name (nil/"" otherwise).
+func methodCallee(pass *Pass, call *ast.CallExpr) (*types.Named, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return nil, ""
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	return named, sel.Sel.Name
+}
+
+// namedIn reports whether named lives in a package whose path ends in
+// suffix and has one of the given names.
+func namedIn(named *types.Named, suffix string, names ...string) bool {
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), suffix) {
+		return false
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}

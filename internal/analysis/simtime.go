@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// SimTime enforces the virtual-clock contract: simulation packages (the
+// engine, the hardware models, and everything that builds directly on
+// them) must never consult wall-clock time or draw from the global
+// math/rand stream. The engine's determinism — and with it the paper's
+// <3% run-to-run variance claim — holds only if every timestamp comes
+// from sim.Engine.Now() and every random draw from an explicitly seeded
+// generator (see Resource.SetJitter for the sanctioned pattern).
+var SimTime = &Analyzer{
+	Name: "simtime",
+	Doc:  "forbid wall-clock time and unseeded math/rand in simulation packages",
+	Run:  runSimTime,
+}
+
+// wallClockFuncs are the time package entry points that read or depend
+// on the real clock. Conversions and constants (time.Second,
+// time.Duration) remain legal: the sim package itself uses them for
+// unit arithmetic.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// seededRandCtors are the only math/rand entry points that do not touch
+// the global (unseeded) generator.
+var seededRandCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 explicit-seed constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runSimTime(pass *Pass) {
+	if !isSimulationPkg(pass) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name := pkgFuncUse(pass, sel)
+			switch pkgPath {
+			case "time":
+				if wallClockFuncs[name] {
+					pass.Reportf(sel.Pos(),
+						"wall-clock time.%s in simulation package %s: use the engine's virtual clock (sim.Engine.Now/Schedule)",
+						name, pass.PkgPath)
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededRandCtors[name] {
+					pass.Reportf(sel.Pos(),
+						"unseeded %s.%s in simulation package %s: use an explicitly seeded generator so runs stay reproducible",
+						pkgPath, name, pass.PkgPath)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+// Package anystyle_bad is a fixture: legacy empty-interface spellings.
+package anystyle_bad
+
+// Dump accepts anything, the old way.
+func Dump(vs ...interface{}) int { // want "use any instead of interface"
+	return len(vs)
+}
+
+// Box holds one value, the old way.
+type Box struct {
+	v interface{} // want "use any instead of interface"
+}

@@ -1,0 +1,11 @@
+// Package anystyle_clean is a fixture: the modern spelling, plus a
+// non-empty interface the rule must leave alone.
+package anystyle_clean
+
+// Dump accepts anything, the modern way.
+func Dump(vs ...any) int { return len(vs) }
+
+// Sizer is a non-empty interface: not the rule's business.
+type Sizer interface {
+	Size() int64
+}

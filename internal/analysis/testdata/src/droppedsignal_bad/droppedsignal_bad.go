@@ -1,0 +1,26 @@
+// Package droppedsignal_bad is a fixture: async-copy and kernel-launch
+// calls whose completion signals fall on the floor, deleting dependency
+// edges from the offload schedule.
+package droppedsignal_bad
+
+import (
+	"stronghold/internal/hw"
+	"stronghold/internal/sim"
+)
+
+// Prefetch fires a transfer nothing can ever wait on.
+func Prefetch(m *hw.Machine) {
+	m.CopyH2D(1<<30, true, nil) // want "result \\*sim.Signal dropped"
+}
+
+// Offload drops both a copy and an NVMe write.
+func Offload(m *hw.Machine, dep *sim.Signal) {
+	m.CopyD2H(1<<20, true, []*sim.Signal{dep}) // want "result \\*sim.Signal dropped"
+	m.NVMeWrite(1<<20, nil)                    // want "result \\*sim.Signal dropped"
+}
+
+// Launch drops a kernel-completion signal, and a deferred submit too.
+func Launch(s *hw.Stream, r *sim.Resource) {
+	s.Launch(1e9, 1.0, nil, nil)       // want "result \\*sim.Signal dropped"
+	defer r.SubmitAfter(nil, 100, nil) // want "result \\*sim.Signal dropped"
+}

@@ -1,0 +1,26 @@
+// Package droppedsignal_clean is a fixture: every async call's signal
+// is chained, waited on, stored, returned, or explicitly discarded.
+package droppedsignal_clean
+
+import (
+	"stronghold/internal/hw"
+	"stronghold/internal/sim"
+)
+
+// Pipeline chains fetch → compute → evict exactly as the runtime does.
+func Pipeline(m *hw.Machine, s *hw.Stream) *sim.Signal {
+	fetch := m.CopyH2D(1<<30, true, nil)
+	compute := s.Launch(1e9, 1.0, []*sim.Signal{fetch}, nil)
+	return m.CopyD2H(1<<30, true, []*sim.Signal{compute})
+}
+
+// Record stores the signal for a later barrier.
+func Record(m *hw.Machine, pending *[]*sim.Signal) {
+	*pending = append(*pending, m.NVMeRead(1<<20, nil))
+}
+
+// FireAndForget documents that this completion genuinely does not
+// matter with an explicit discard.
+func FireAndForget(m *hw.Machine) {
+	_ = m.NetSend(4096, nil)
+}

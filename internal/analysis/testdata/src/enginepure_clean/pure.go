@@ -1,0 +1,17 @@
+// Package enginepure_clean is a fixture with two files: this one
+// imports sim and stays strictly single-goroutine; worker.go uses
+// goroutines and sync freely but never imports sim nor touches engine
+// types — the functional-trainer pattern the rule must not flag.
+package enginepure_clean
+
+import "stronghold/internal/sim"
+
+// Chain expresses a dependency with signals, the sanctioned mechanism.
+func Chain(eng *sim.Engine, r *sim.Resource) sim.Time {
+	first := r.SubmitAfter(nil, 10, nil)
+	second := r.SubmitAfter([]*sim.Signal{first}, 5, nil)
+	var end sim.Time
+	second.Wait(func() { end = eng.Now() })
+	eng.Run()
+	return end
+}

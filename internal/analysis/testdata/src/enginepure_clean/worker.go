@@ -1,0 +1,24 @@
+package enginepure_clean
+
+import "sync"
+
+// Sum fans real computation out across goroutines. This file does not
+// import sim, so the concurrency is legal.
+func Sum(xs []float64) float64 {
+	var (
+		mu    sync.Mutex
+		total float64
+		wg    sync.WaitGroup
+	)
+	for _, x := range xs {
+		wg.Add(1)
+		go func(v float64) {
+			defer wg.Done()
+			mu.Lock()
+			total += v
+			mu.Unlock()
+		}(x)
+	}
+	wg.Wait()
+	return total
+}

@@ -1,0 +1,28 @@
+// Package simtime_bad is a fixture: it imports the sim package (making
+// it a simulation package) and then reaches for wall-clock time and
+// the global math/rand stream.
+package simtime_bad
+
+import (
+	"math/rand"
+	"time"
+
+	"stronghold/internal/sim"
+)
+
+// Tick pretends to time an event with the real clock.
+func Tick(eng *sim.Engine) time.Duration {
+	start := time.Now() // want "wall-clock time.Now"
+	eng.Run()
+	return time.Since(start) // want "wall-clock time.Since"
+}
+
+// Nap blocks the simulation goroutine on the real clock.
+func Nap() {
+	time.Sleep(time.Millisecond) // want "wall-clock time.Sleep"
+}
+
+// Jitter draws from the global, unseeded generator.
+func Jitter(d sim.Time) sim.Time {
+	return d + sim.Time(rand.Int63n(10)) // want "unseeded math/rand.Int63n"
+}

@@ -1,0 +1,29 @@
+// Package simtime_clean is a fixture: a simulation package that keeps
+// to the virtual clock and explicitly seeded randomness.
+package simtime_clean
+
+import (
+	"math/rand"
+	"time"
+
+	"stronghold/internal/sim"
+)
+
+// Horizon uses the time package only for unit arithmetic, which is
+// legal: no wall clock is consulted.
+func Horizon(eng *sim.Engine) float64 {
+	return float64(eng.Now()) / float64(time.Second)
+}
+
+// SeededJitter draws from an explicitly seeded generator, the
+// sanctioned pattern for reproducible randomness.
+func SeededJitter(seed int64, d sim.Time) sim.Time {
+	r := rand.New(rand.NewSource(seed))
+	return d + sim.Time(r.Int63n(10))
+}
+
+// Virtual advances only the virtual clock.
+func Virtual(eng *sim.Engine) sim.Time {
+	eng.Schedule(5, func() {})
+	return eng.Run()
+}

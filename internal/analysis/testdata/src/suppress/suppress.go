@@ -1,0 +1,15 @@
+// Package suppress is a fixture for the //vet:ignore mechanism: two
+// identical violations, one annotated (trailing form), one annotated
+// on the preceding line, and one left bare. Only the bare one may
+// survive.
+package suppress
+
+import "stronghold/internal/hw"
+
+// Warm issues fire-and-forget warm-up transfers.
+func Warm(m *hw.Machine) {
+	m.CopyH2D(4096, true, nil) //vet:ignore droppedsignal warm-up transfer, nothing downstream depends on it
+	//vet:ignore droppedsignal warm-up transfer, annotated on the line above
+	m.CopyH2D(8192, true, nil)
+	m.CopyH2D(1<<20, true, nil) // want "result \\*sim.Signal dropped"
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"stronghold/internal/hw"
+	"stronghold/internal/modelcfg"
+	"stronghold/internal/perf"
+	"stronghold/internal/trace"
+)
+
+// runTraced executes one full training simulation and returns the
+// result plus the serialized event trace of its final iteration.
+func runTraced(t *testing.T, feat Features) (perf.IterationResult, []byte) {
+	t.Helper()
+	e := NewEngine(perf.NewModel(modelcfg.Config1p7B(), hw.V100Platform()))
+	e.Feat = feat
+	tr := trace.New()
+	res := e.Run(3, tr)
+	if res.OOM {
+		t.Fatalf("1.7B must fit: %s", res.OOMDetail)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	raw, err := tr.ChromeJSON()
+	if err != nil {
+		t.Fatalf("serializing trace: %v", err)
+	}
+	return res, raw
+}
+
+// TestDeterministicTraces is the regression guard for the determinism
+// contract the stronghold-vet rules enforce statically: the same
+// simulation, run twice, must execute the same number of engine events
+// and emit byte-identical traces. It covers the default feature set and
+// the multistream path, with and without deterministic transfer jitter.
+func TestDeterministicTraces(t *testing.T) {
+	cases := []struct {
+		name string
+		feat Features
+	}{
+		{"default", DefaultFeatures()},
+		{"multistream", Features{ConcurrentOptimizers: true, UserLevelMemMgmt: true, Streams: 2}},
+		{"baseline-no-opt", Features{Streams: 1}},
+		{"nvme", Features{ConcurrentOptimizers: true, UserLevelMemMgmt: true, Streams: 1, UseNVMe: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res1, trace1 := runTraced(t, tc.feat)
+			res2, trace2 := runTraced(t, tc.feat)
+			if res1.Steps == 0 {
+				t.Fatal("engine reported zero steps")
+			}
+			if res1.Steps != res2.Steps {
+				t.Fatalf("event counts diverge: %d vs %d", res1.Steps, res2.Steps)
+			}
+			if res1 != res2 {
+				t.Fatalf("iteration results diverge:\n  %+v\n  %+v", res1, res2)
+			}
+			if !bytes.Equal(trace1, trace2) {
+				t.Fatalf("event traces diverge (%d vs %d bytes)", len(trace1), len(trace2))
+			}
+		})
+	}
+}
+
+// TestDeterministicTracesWithJitter pins down that even the seeded
+// jitter path — deliberate randomness — is run-to-run reproducible.
+func TestDeterministicTracesWithJitter(t *testing.T) {
+	run := func() (perf.IterationResult, []byte) {
+		e := NewEngine(perf.NewModel(modelcfg.Config1p7B(), hw.V100Platform()))
+		e.TransferJitter = 0.1
+		tr := trace.New()
+		res := e.Run(3, tr)
+		if res.OOM {
+			t.Fatalf("1.7B must fit: %s", res.OOMDetail)
+		}
+		raw, err := tr.ChromeJSON()
+		if err != nil {
+			t.Fatalf("serializing trace: %v", err)
+		}
+		return res, raw
+	}
+	res1, trace1 := run()
+	res2, trace2 := run()
+	if res1.Steps != res2.Steps {
+		t.Fatalf("event counts diverge under jitter: %d vs %d", res1.Steps, res2.Steps)
+	}
+	if !bytes.Equal(trace1, trace2) {
+		t.Fatal("event traces diverge under seeded jitter")
+	}
+}

@@ -194,6 +194,7 @@ func (e *Engine) Run(iters int, tr *trace.Trace) perf.IterationResult {
 		ends[it] = run.iteration(itTrace)
 	}
 	eng.Run()
+	res.Steps = eng.Steps()
 	var lastStart sim.Time
 	if iters > 1 {
 		lastStart = ends[iters-2].FiredAt()

@@ -127,6 +127,10 @@ type IterationResult struct {
 	// the ongoing per-layer-visit bookkeeping traffic that the
 	// user-level pool eliminates.
 	CacheOps uint64
+	// Steps is the number of discrete events the simulation executed —
+	// a determinism fingerprint: two runs of the same configuration
+	// must report identical counts.
+	Steps uint64
 }
 
 // Throughput returns training samples processed per second for the
