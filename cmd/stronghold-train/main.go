@@ -11,6 +11,11 @@
 //
 //	stronghold-train -functional -l 4 -hs 32 -b 2 -w 2 -iters 20
 //
+// Degraded-mode study (deterministic fault injection, STRONGHOLD only):
+//
+//	stronghold-train -m stronghold -l 50 -faults "h2d:slow(at=0s,dur=1s,every=1s,factor=0.15)"
+//	stronghold-train -m stronghold -l 50 -faults "..." -no-adapt
+//
 // Flags mirror the artifact's parameters: -l layers, -hs hidden size,
 // -b batch size, -w window size (0 = analytic, STRONGHOLD only).
 package main
@@ -43,6 +48,8 @@ func main() {
 	platform := flag.String("platform", "v100", "platform: v100 | a10-cluster")
 	functional := flag.Bool("functional", false, "train a real small model instead of simulating")
 	iters := flag.Int("iters", 10, "functional-mode training iterations")
+	faults := flag.String("faults", "", `fault plan, e.g. "seed=7;h2d:slow(at=0s,dur=1s,every=1s,factor=0.2)" (STRONGHOLD only)`)
+	noAdapt := flag.Bool("no-adapt", false, "freeze the working window under faults (disable adaptive re-solve)")
 	flag.Parse()
 
 	if *functional {
@@ -72,6 +79,7 @@ func main() {
 		res, err := stronghold.Simulate(stronghold.SimConfig{
 			Layers: *layers, Hidden: *hidden, BatchSize: *batch,
 			Platform: plat, Method: m, Window: *window,
+			Faults: *faults, DisableAdapt: *noAdapt,
 		})
 		if err != nil {
 			fatalf("%s: %v", name, err)
@@ -82,6 +90,10 @@ func main() {
 		}
 		fmt.Printf("%-22s %7.1fB %12.2f %10.3f %8.2f %7.1fGB\n",
 			m, res.ModelBillions, res.IterSeconds, res.SamplesPerSec, res.TFLOPS, res.GPUPeakGB)
+		if *faults != "" {
+			fmt.Printf("%-22s degraded mode: %d retries, %d deadline misses, %d re-solves, final window %d\n",
+				"", res.Retries, res.DeadlineMisses, res.WindowResolves, res.FinalWindow)
+		}
 	}
 }
 

@@ -1,0 +1,87 @@
+// Fault tolerance: the degraded-mode robustness study. A deterministic
+// fault plan collapses both PCIe directions to 15% bandwidth and layers
+// periodic H2D blackouts on top — the kind of sustained interference a
+// noisy neighbor or a failing link produces. Three arms at 1.7B on the
+// V100 platform:
+//
+//   - clean: no faults, the paper's steady state
+//   - frozen: faults with the working window frozen at its clean
+//     solution (adaptive re-solve disabled)
+//   - adaptive: faults with the re-solve closing the loop — the window
+//     grows until the degraded transfers hide behind compute again
+//
+// The frozen arm shows what the faults cost; the adaptive arm shows how
+// much of it the §III-D solver wins back when fed observed rather than
+// assumed transfer times. The whole run is virtual-clock deterministic:
+// same plan, same numbers, every time.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"stronghold"
+)
+
+// plan is the showcase schedule: a sustained 0.15x bandwidth collapse
+// on both PCIe directions plus a 40ms H2D blackout every 500ms.
+const plan = "h2d:slow(at=0s,dur=1s,every=1s,factor=0.15);" +
+	"d2h:slow(at=0s,dur=1s,every=1s,factor=0.15);" +
+	"h2d:drop(at=100ms,dur=40ms,every=500ms)"
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
+	base := stronghold.SimConfig{
+		SizeBillions: 1.7,
+		Platform:     stronghold.V100,
+		Method:       stronghold.Stronghold,
+	}
+
+	clean := base
+	frozen := base
+	frozen.Faults = plan
+	frozen.DisableAdapt = true
+	adaptive := base
+	adaptive.Faults = plan
+
+	fmt.Fprintf(w, "1.7B on a 32GB V100 under PCIe degradation (%s...)\n\n", plan[:30])
+	fmt.Fprintf(w, "%-10s %12s %12s %10s %8s %8s %10s %8s\n",
+		"arm", "iter(s)", "samples/s", "retention", "retries", "misses", "re-solves", "window")
+
+	var cleanRate float64
+	for _, arm := range []struct {
+		name string
+		cfg  stronghold.SimConfig
+	}{
+		{"clean", clean},
+		{"frozen", frozen},
+		{"adaptive", adaptive},
+	} {
+		r, err := stronghold.Simulate(arm.cfg)
+		if err != nil {
+			return err
+		}
+		if r.OOM {
+			return fmt.Errorf("%s: unexpected OOM: %s", arm.name, r.Detail)
+		}
+		if arm.name == "clean" {
+			cleanRate = r.SamplesPerSec
+		}
+		fmt.Fprintf(w, "%-10s %12.2f %12.3f %9.1f%% %8d %8d %10d %8d\n",
+			arm.name, r.IterSeconds, r.SamplesPerSec, r.SamplesPerSec/cleanRate*100,
+			r.Retries, r.DeadlineMisses, r.WindowResolves, r.FinalWindow)
+	}
+
+	fmt.Fprintln(w, "\nthe frozen window pays the full bandwidth collapse; the adaptive")
+	fmt.Fprintln(w, "re-solve re-runs the window model against observed transfer times,")
+	fmt.Fprintln(w, "grows m into the GPU's memory headroom, and hides the slow link")
+	fmt.Fprintln(w, "behind compute again — recovering nearly all the lost throughput.")
+	return nil
+}

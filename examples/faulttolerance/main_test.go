@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFaultToleranceRuns smoke-tests the degraded-mode study through
+// the public API: all three arms must simulate, the adaptive arm must
+// actually re-solve the window, and the run must be deterministic
+// (two executions produce identical reports).
+func TestFaultToleranceRuns(t *testing.T) {
+	var first strings.Builder
+	if err := run(&first); err != nil {
+		t.Fatalf("faulttolerance failed: %v", err)
+	}
+	out := first.String()
+	for _, want := range []string{"clean", "frozen", "adaptive", "re-solves"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "OOM") {
+		t.Errorf("unexpected OOM in output:\n%s", out)
+	}
+
+	var second strings.Builder
+	if err := run(&second); err != nil {
+		t.Fatalf("faulttolerance rerun failed: %v", err)
+	}
+	if out != second.String() {
+		t.Errorf("fault study is not deterministic:\n--- first ---\n%s\n--- second ---\n%s",
+			out, second.String())
+	}
+}

@@ -6,12 +6,20 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"stronghold"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// --- Functional training with a working window -----------------
 	cfg := stronghold.TrainerConfig{
 		Vocab: 256, SeqLen: 32, Hidden: 64, Heads: 4, Layers: 8,
@@ -23,11 +31,11 @@ func main() {
 	}
 	trainer, err := stronghold.NewTrainer(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer trainer.Close()
 
-	fmt.Printf("GPT with %d parameters; window %d/%d blocks resident\n",
+	fmt.Fprintf(w, "GPT with %d parameters; window %d/%d blocks resident\n",
 		trainer.NumParams(), cfg.Window, cfg.Layers)
 	// Train on a fixed batch so the loss trend is visible (a random
 	// token stream has irreducible entropy).
@@ -48,12 +56,12 @@ func main() {
 	for i := 0; i < 12; i++ {
 		loss, err := trainer.StepOn(inputs, targets)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("  iter %2d  loss %.4f\n", i, loss)
+		fmt.Fprintf(w, "  iter %2d  loss %.4f\n", i, loss)
 	}
 	fetches, evictions := trainer.Transfers()
-	fmt.Printf("window runtime: %d fetches, %d evictions, peak residency %d blocks\n\n",
+	fmt.Fprintf(w, "window runtime: %d fetches, %d evictions, peak residency %d blocks\n\n",
 		fetches, evictions, trainer.PeakResidentBlocks())
 
 	// --- Billion-scale planning and simulation ---------------------
@@ -61,9 +69,9 @@ func main() {
 		SizeBillions: 4, Platform: stronghold.V100, Method: stronghold.Stronghold,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("4B model on a 32GB V100: analytic window m=%d (P1=%d, P2=%d, Eq3=%d), %d streams\n",
+	fmt.Fprintf(w, "4B model on a 32GB V100: analytic window m=%d (P1=%d, P2=%d, Eq3=%d), %d streams\n",
 		plan.Window, plan.MForward, plan.MBackward, plan.MOptimizer, plan.Streams)
 
 	for _, m := range []stronghold.Method{stronghold.Megatron, stronghold.ZeROOffload, stronghold.Stronghold} {
@@ -71,19 +79,20 @@ func main() {
 			SizeBillions: 4, Platform: stronghold.V100, Method: m,
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if r.OOM {
-			fmt.Printf("  %-14s OOM (%s)\n", m, "4B exceeds its capacity")
+			fmt.Fprintf(w, "  %-14s OOM (%s)\n", m, "4B exceeds its capacity")
 			continue
 		}
-		fmt.Printf("  %-14s %6.2f s/iter  %5.3f samples/s  %5.2f TFLOPS\n",
+		fmt.Fprintf(w, "  %-14s %6.2f s/iter  %5.3f samples/s  %5.2f TFLOPS\n",
 			m, r.IterSeconds, r.SamplesPerSec, r.TFLOPS)
 	}
 
 	max, err := stronghold.MaxTrainableBillions(stronghold.Stronghold, stronghold.V100)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("largest STRONGHOLD-trainable model on this server: %.1fB parameters\n", max)
+	fmt.Fprintf(w, "largest STRONGHOLD-trainable model on this server: %.1fB parameters\n", max)
+	return nil
 }

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickstartRuns smoke-tests the example end to end: functional
+// training must converge enough to print losses, and the billion-scale
+// planning section must produce the analytic window line.
+func TestQuickstartRuns(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatalf("quickstart failed: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"window 3/8 blocks resident",
+		"iter 11",
+		"analytic window m=",
+		"largest STRONGHOLD-trainable model",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

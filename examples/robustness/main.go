@@ -9,23 +9,37 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"stronghold"
 )
 
 func main() {
-	fmt.Println("throughput retention under 3x transfer jitter (1.7B, V100):")
-	fmt.Printf("%-8s %12s %12s %12s\n", "window", "clean (s/s)", "jitter (s/s)", "retention")
-	for _, w := range []int{1, 2, 4, 8} {
-		clean := simulate(w, 0, nil)
-		noisy := simulate(w, 3.0, nil)
-		fmt.Printf("%-8d %12.3f %12.3f %11.1f%%\n",
-			w, clean.SamplesPerSec, noisy.SamplesPerSec,
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
+	fmt.Fprintln(w, "throughput retention under 3x transfer jitter (1.7B, V100):")
+	fmt.Fprintf(w, "%-8s %12s %12s %12s\n", "window", "clean (s/s)", "jitter (s/s)", "retention")
+	for _, win := range []int{1, 2, 4, 8} {
+		clean, err := simulate(win, 0, nil)
+		if err != nil {
+			return err
+		}
+		noisy, err := simulate(win, 3.0, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-8d %12.3f %12.3f %11.1f%%\n",
+			win, clean.SamplesPerSec, noisy.SamplesPerSec,
 			noisy.SamplesPerSec/clean.SamplesPerSec*100)
 	}
-	fmt.Println("\nthe window's prefetch lookahead is exactly the slack that")
-	fmt.Println("hides a late transfer; one layer of window ~ one transfer of slack.")
+	fmt.Fprintln(w, "\nthe window's prefetch lookahead is exactly the slack that")
+	fmt.Fprintln(w, "hides a late transfer; one layer of window ~ one transfer of slack.")
 
 	// Heterogeneous stack: every other layer 3x as expensive.
 	layers := 20
@@ -36,15 +50,22 @@ func main() {
 			scale[i] = 3
 		}
 	}
-	uniform := simulate(2, 0, nil)
-	hetero := simulate(2, 0, scale)
-	fmt.Printf("\nheterogeneous (1x/3x alternating) vs uniform model, window 2:\n")
-	fmt.Printf("  uniform: %6.2f s/iter    heterogeneous: %6.2f s/iter (%.1fx)\n",
+	uniform, err := simulate(2, 0, nil)
+	if err != nil {
+		return err
+	}
+	hetero, err := simulate(2, 0, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nheterogeneous (1x/3x alternating) vs uniform model, window 2:\n")
+	fmt.Fprintf(w, "  uniform: %6.2f s/iter    heterogeneous: %6.2f s/iter (%.1fx)\n",
 		uniform.IterSeconds, hetero.IterSeconds, hetero.IterSeconds/uniform.IterSeconds)
-	fmt.Println("  (mean layer cost is 2x, and the window still hides the transfers)")
+	fmt.Fprintln(w, "  (mean layer cost is 2x, and the window still hides the transfers)")
+	return nil
 }
 
-func simulate(window int, jitter float64, scale []float64) stronghold.SimResult {
+func simulate(window int, jitter float64, scale []float64) (stronghold.SimResult, error) {
 	r, err := stronghold.Simulate(stronghold.SimConfig{
 		Layers: 20, Hidden: 2560, BatchSize: 4,
 		Platform: stronghold.V100, Method: stronghold.Stronghold,
@@ -52,10 +73,10 @@ func simulate(window int, jitter float64, scale []float64) stronghold.SimResult 
 		TransferJitter: jitter, LayerScale: scale,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return stronghold.SimResult{}, err
 	}
 	if r.OOM {
-		log.Fatalf("unexpected OOM: %s", r.Detail)
+		return stronghold.SimResult{}, fmt.Errorf("unexpected OOM: %s", r.Detail)
 	}
-	return r
+	return r, nil
 }

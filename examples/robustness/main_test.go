@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRobustnessRuns smoke-tests the jitter and heterogeneous-layer
+// studies: both tables must render and no configuration may OOM.
+func TestRobustnessRuns(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatalf("robustness failed: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"throughput retention under 3x transfer jitter",
+		"retention",
+		"heterogeneous (1x/3x alternating) vs uniform model",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

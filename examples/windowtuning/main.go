@@ -7,12 +7,20 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"stronghold"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	base := stronghold.SimConfig{
 		SizeBillions: 1.7,
 		Platform:     stronghold.V100,
@@ -22,46 +30,47 @@ func main() {
 
 	plan, err := stronghold.PlanWindow(base)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("analytical model for the 1.7B model:\n")
-	fmt.Printf("  P1 (forward prefetch hiding)  m >= %d\n", plan.MForward)
-	fmt.Printf("  P2 (backward offload hiding)  m >= %d\n", plan.MBackward)
-	fmt.Printf("  Eq.3 (CPU update chain)       m >= %d\n", plan.MOptimizer)
-	fmt.Printf("  chosen window                 m  = %d (memory-bound: %v)\n\n",
+	fmt.Fprintf(w, "analytical model for the 1.7B model:\n")
+	fmt.Fprintf(w, "  P1 (forward prefetch hiding)  m >= %d\n", plan.MForward)
+	fmt.Fprintf(w, "  P2 (backward offload hiding)  m >= %d\n", plan.MBackward)
+	fmt.Fprintf(w, "  Eq.3 (CPU update chain)       m >= %d\n", plan.MOptimizer)
+	fmt.Fprintf(w, "  chosen window                 m  = %d (memory-bound: %v)\n\n",
 		plan.Window, plan.MemoryBound)
 
-	fmt.Printf("%-8s %12s %12s %10s\n", "window", "iter (s)", "samples/s", "GPU peak")
+	fmt.Fprintf(w, "%-8s %12s %12s %10s\n", "window", "iter (s)", "samples/s", "GPU peak")
 	var best float64
-	for _, w := range []int{1, 2, 3, 4, 6, 8, 12, 16} {
+	for _, win := range []int{1, 2, 3, 4, 6, 8, 12, 16} {
 		cfg := base
-		cfg.Window = w
+		cfg.Window = win
 		r, err := stronghold.Simulate(cfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if r.OOM {
-			fmt.Printf("%-8d %12s\n", w, "OOM")
+			fmt.Fprintf(w, "%-8d %12s\n", win, "OOM")
 			continue
 		}
 		mark := ""
-		if w == plan.Window {
+		if win == plan.Window {
 			mark = "  <- analytic choice"
 		}
 		if r.SamplesPerSec > best {
 			best = r.SamplesPerSec
 		}
-		fmt.Printf("%-8d %12.3f %12.3f %8.1fGB%s\n",
-			w, r.IterSeconds, r.SamplesPerSec, r.GPUPeakGB, mark)
+		fmt.Fprintf(w, "%-8d %12.3f %12.3f %8.1fGB%s\n",
+			win, r.IterSeconds, r.SamplesPerSec, r.GPUPeakGB, mark)
 	}
 
 	chosen := base
 	chosen.Window = plan.Window
 	r, err := stronghold.Simulate(chosen)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nanalytic window reaches %.1f%% of the best observed throughput\n",
+	fmt.Fprintf(w, "\nanalytic window reaches %.1f%% of the best observed throughput\n",
 		r.SamplesPerSec/best*100)
-	fmt.Printf("while windows past the knee only grow the GPU footprint.\n")
+	fmt.Fprintf(w, "while windows past the knee only grow the GPU footprint.\n")
+	return nil
 }

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWindowTuningRuns smoke-tests the Figure 9 sweep: the analytic
+// decision must print, the sweep table must mark the analytic choice,
+// and the closing comparison against the best observed window must
+// render.
+func TestWindowTuningRuns(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatalf("windowtuning failed: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"analytical model for the 1.7B model",
+		"<- analytic choice",
+		"of the best observed throughput",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -107,6 +107,16 @@ func TestDroppedSignal(t *testing.T) {
 	runFixture(t, loader, DroppedSignal, "droppedsignal_clean")
 }
 
+// TestDroppedSignalRetryPattern covers the degraded-mode retry idiom:
+// a reissued transfer must chain its completion into the stable relay
+// signal consumers hold; dropping the reissue deletes the dependency
+// edge exactly when a fault fires.
+func TestDroppedSignalRetryPattern(t *testing.T) {
+	loader := newTestLoader(t)
+	runFixture(t, loader, DroppedSignal, "retry_bad")
+	runFixture(t, loader, DroppedSignal, "retry_clean")
+}
+
 func TestBufDiscipline(t *testing.T) {
 	loader := newTestLoader(t)
 	runFixture(t, loader, BufDiscipline, "bufdiscipline_bad")

@@ -1,0 +1,36 @@
+// Package retry_bad is a fixture: a degraded-mode retry loop that
+// reissues a transfer after a blackout window but drops the reissued
+// copy's completion signal — the classic bug this rule exists for. The
+// first attempt's signal is chained correctly, so the schedule LOOKS
+// right until a fault actually fires; then every retried prefetch
+// vanishes from the dependency graph.
+package retry_bad
+
+import (
+	"stronghold/internal/hw"
+	"stronghold/internal/sim"
+)
+
+const backoff = sim.Time(100_000)
+
+// PrefetchWithRetry issues a prefetch and, if the link is blacked out,
+// backs off in virtual time and reissues. The retry path loses the
+// signal: downstream consumers wait on the FIRST attempt only.
+func PrefetchWithRetry(m *hw.Machine, blackout func(sim.Time) bool, deps []*sim.Signal) *sim.Signal {
+	if !blackout(m.Eng.Now()) {
+		return m.CopyH2D(1<<30, true, deps)
+	}
+	first := sim.NewSignal(m.Eng)
+	m.Eng.Schedule(backoff, func() {
+		m.CopyH2D(1<<30, true, deps) // want "result \\*sim.Signal dropped"
+	})
+	return first // fires never: the reissue was dropped
+}
+
+// OffloadWithRetry reissues an eviction after backoff and drops it too,
+// this time via defer.
+func OffloadWithRetry(m *hw.Machine, deps []*sim.Signal) {
+	m.Eng.Schedule(backoff, func() {
+		defer m.CopyD2H(1<<20, true, deps) // want "result \\*sim.Signal dropped"
+	})
+}

@@ -1,0 +1,37 @@
+// Package retry_clean is a fixture: the degraded-mode retry pattern
+// done right. The retrying operation exposes ONE stable outward signal;
+// every reissued attempt chains its completion into that relay, so
+// downstream dependency edges survive any number of retries.
+package retry_clean
+
+import (
+	"stronghold/internal/hw"
+	"stronghold/internal/sim"
+)
+
+const backoff = sim.Time(100_000)
+
+// PrefetchWithRetry issues a prefetch and, if the link is blacked out,
+// backs off in virtual time and reissues. Consumers wait on the relay
+// signal, which whichever attempt finally lands fires exactly once.
+func PrefetchWithRetry(m *hw.Machine, blackout func(sim.Time) bool, deps []*sim.Signal) *sim.Signal {
+	done := sim.NewSignal(m.Eng)
+	var attempt func(try int)
+	attempt = func(try int) {
+		if blackout(m.Eng.Now()) && try < 10 {
+			m.Eng.Schedule(backoff<<uint(try), func() { attempt(try + 1) })
+			return
+		}
+		copied := m.CopyH2D(1<<30, true, deps)
+		copied.Wait(done.Fire)
+	}
+	attempt(0)
+	return done
+}
+
+// OffloadFireAndForget is the sanctioned escape hatch: a statistics
+// copy whose completion genuinely does not matter is discarded
+// explicitly, which the rule accepts.
+func OffloadFireAndForget(m *hw.Machine) {
+	_ = m.CopyD2H(1<<10, false, nil)
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+
+	"stronghold/internal/fault"
+	"stronghold/internal/modelcfg"
+	"stronghold/internal/sim"
+	"stronghold/internal/trace"
+)
+
+// AdaptConfig tunes the degraded-mode scheduler that runs when a fault
+// plan is configured. The zero value selects the defaults below; it has
+// no effect without faults (the clean path never consults it).
+type AdaptConfig struct {
+	// DeadlineFactor: a transfer whose observed time (service + retry
+	// backoff) exceeds this multiple of its model-predicted time counts
+	// as a deadline miss. Default 1.5.
+	DeadlineFactor float64
+	// RetryBackoff is the base virtual-time backoff after a transfer
+	// hits a blackout window; attempt k waits RetryBackoff·2^k.
+	// Default 100µs.
+	RetryBackoff sim.Time
+	// MaxRetries bounds the reissue attempts per transfer; past it the
+	// transfer is forced through (modeling a blocking driver-level
+	// retry). Default 10.
+	MaxRetries int
+	// GrowThreshold: when the observed/nominal transfer-time ratio over
+	// an iteration reaches it, the window is re-solved against the
+	// degraded transfer times. Default 1.25.
+	GrowThreshold float64
+	// ShrinkThreshold: when the ratio falls back to it and the window
+	// is above its clean solution, the window re-solves back down.
+	// Default 1.1.
+	ShrinkThreshold float64
+	// DisableResolve freezes the window at its initial size: faults
+	// still stall/slow/drop transfers and retries still happen, but m
+	// never changes — the ablation arm of the robustness study.
+	DisableResolve bool
+}
+
+func (a AdaptConfig) withDefaults() AdaptConfig {
+	if a.DeadlineFactor <= 0 {
+		a.DeadlineFactor = 1.5
+	}
+	if a.RetryBackoff <= 0 {
+		a.RetryBackoff = sim.Microseconds(100)
+	}
+	if a.MaxRetries <= 0 {
+		a.MaxRetries = 10
+	}
+	if a.GrowThreshold <= 1 {
+		a.GrowThreshold = 1.25
+	}
+	if a.ShrinkThreshold <= 1 {
+		a.ShrinkThreshold = 1.1
+	}
+	return a
+}
+
+// faultTrack is the Chrome-trace track fault and recovery events land
+// on.
+const faultTrack = "faults"
+
+// maxFeasibleWindow returns the largest window ≥ the solved one that
+// still fits every memory tier — the headroom the adaptive re-solve may
+// grow into.
+func (e *Engine) maxFeasibleWindow(window, streams int) int {
+	cfg := e.Model.Cfg
+	plat := e.Model.Plat
+	maxW := window
+	for m := window + 1; m <= cfg.Layers; m++ {
+		fp := modelcfg.Footprint(e.method(), cfg, m, streams)
+		if !fp.Fits(plat.GPU.MemBytes, plat.CPU.UsableMemBytes, plat.NVMe.Bytes) {
+			break
+		}
+		maxW = m
+	}
+	return maxW
+}
+
+// enableFaults switches the run into degraded mode: stretch hooks on
+// every injectable resource, drop-aware retrying transfers, and (unless
+// disabled) the adaptive window re-solve. tr, when non-nil, receives
+// fault/recovery events from the whole run, not just the traced final
+// iteration.
+func (r *iterRun) enableFaults(inj *fault.Injector, adapt AdaptConfig, tr *trace.Trace, baseProfile Profile, maxWindow int) {
+	r.inj = inj
+	r.adapt = adapt
+	r.faultTr = tr
+	r.baseProfile = baseProfile
+	r.baseWindow = r.window
+	r.maxWindow = maxWindow
+	r.residentReady = make(map[int]*sim.Signal)
+
+	m := r.machine
+	m.H2D.SetStretch(inj.Stretch(fault.H2D))
+	m.D2H.SetStretch(inj.Stretch(fault.D2H))
+	// PCIe drops are handled by the engine's retry loop; the remaining
+	// resources have no reissue path, so their blackouts degrade to
+	// stalls inside the stretch.
+	m.NVMeQ.SetStretch(inj.StretchAll(fault.NVMe))
+	m.NIC.SetStretch(inj.StretchAll(fault.NIC))
+	cpuStretch := inj.StretchAll(fault.CPU)
+	for _, w := range m.CPUPool.Workers() {
+		w.SetStretch(cpuStretch)
+	}
+	if r.singleOpt != nil {
+		r.singleOpt.SetStretch(cpuStretch)
+	}
+}
+
+// runAdaptive schedules iterations one at a time — each chained on the
+// previous iteration's completion so the window can be re-solved at
+// every boundary from that iteration's observed transfer times. The
+// cross-iteration optimizer-tail overlap is preserved: the end signal
+// does not wait for CPU updates, whose signals the next iteration's
+// prefetches consume as usual.
+func (r *iterRun) runAdaptive(iters int, tr *trace.Trace) []*sim.Signal {
+	ends := make([]*sim.Signal, iters)
+	var schedule func(it int)
+	schedule = func(it int) {
+		if it >= iters {
+			return
+		}
+		if it > 0 {
+			r.adaptWindow()
+		}
+		var itTr *trace.Trace
+		if it == iters-1 {
+			itTr = tr
+		}
+		ends[it] = r.iteration(itTr)
+		ends[it].Wait(func() { schedule(it + 1) })
+	}
+	schedule(0)
+	return ends
+}
+
+// observeCopy accumulates one transfer's observed-vs-nominal time and
+// flags deadline misses — the live measurements the adaptive re-solve
+// feeds back into the solver.
+func (r *iterRun) observeCopy(name string, nominal, start, end, delayed sim.Time) {
+	actual := (end - start) + delayed
+	r.obsNominal += nominal
+	r.obsActual += actual
+	if float64(actual) > r.adapt.DeadlineFactor*float64(nominal) {
+		r.deadlineMisses++
+		if r.faultTr != nil {
+			r.faultTr.Add(trace.Span{Track: faultTrack, Name: "deadline miss " + name,
+				Kind: trace.KindFault, Layer: -1, Start: start, End: end})
+		}
+	}
+}
+
+// submitWithRetry issues a transfer on res unless its fault target is
+// inside a blackout window; then it backs off exponentially in virtual
+// time and reissues. After MaxRetries the transfer is forced through.
+func (r *iterRun) submitWithRetry(res *sim.Resource, tg fault.Target, dur sim.Time, done func(start, end, delayed sim.Time)) {
+	eng := r.machine.Eng
+	var attempt func(try int, delayed sim.Time)
+	attempt = func(try int, delayed sim.Time) {
+		now := eng.Now()
+		if _, dropped := r.inj.DropUntil(tg, now); dropped && try < r.adapt.MaxRetries {
+			r.retries++
+			shift := try
+			if shift > 16 {
+				shift = 16
+			}
+			backoff := r.adapt.RetryBackoff << uint(shift)
+			if r.faultTr != nil {
+				r.faultTr.Add(trace.Span{Track: faultTrack, Name: fmt.Sprintf("%s retry %d", tg, try+1),
+					Kind: trace.KindFault, Layer: -1, Start: now, End: now + backoff})
+			}
+			eng.Schedule(backoff, func() { attempt(try+1, delayed+backoff) })
+			return
+		}
+		res.Submit(dur, func(start, end sim.Time) { done(start, end, delayed) })
+	}
+	attempt(0, 0)
+}
+
+// adaptWindow runs at each iteration boundary in degraded mode: if the
+// previous iteration's transfers drifted past GrowThreshold (or
+// recovered below ShrinkThreshold while the window is inflated), the
+// warm-up profile is rescaled by the observed ratio and the solver
+// re-run — Eq. 1–3 against measured, not assumed, transfer times. The
+// window then moves to the new solution, clamped to [clean solution,
+// memory-feasible maximum].
+func (r *iterRun) adaptWindow() {
+	obsNominal, obsActual := r.obsNominal, r.obsActual
+	r.obsNominal, r.obsActual = 0, 0
+	if r.adapt.DisableResolve || obsNominal == 0 {
+		return
+	}
+	ratio := float64(obsActual) / float64(obsNominal)
+	if ratio < 1 {
+		ratio = 1
+	}
+	needGrow := ratio >= r.adapt.GrowThreshold
+	mayShrink := r.window > r.baseWindow && ratio <= r.adapt.ShrinkThreshold
+	if !needGrow && !mayShrink {
+		return
+	}
+	prof := r.baseProfile
+	prof.Layers = append([]LayerProfile(nil), r.baseProfile.Layers...)
+	for i := range prof.Layers {
+		prof.Layers[i].TC2G = sim.Time(float64(prof.Layers[i].TC2G) * ratio)
+		prof.Layers[i].TG2C = sim.Time(float64(prof.Layers[i].TG2C) * ratio)
+	}
+	target := r.maxWindow // infeasible under degradation: take all the headroom
+	if d, err := SolveWindow(prof); err == nil && !d.MemoryBound {
+		target = d.M
+	}
+	if target < r.baseWindow {
+		target = r.baseWindow
+	}
+	if target > r.maxWindow {
+		target = r.maxWindow
+	}
+	if target == r.window {
+		return
+	}
+	r.resolves++
+	if r.faultTr != nil {
+		now := r.machine.Eng.Now()
+		r.faultTr.Add(trace.Span{Track: faultTrack, Name: fmt.Sprintf("re-solve m %d→%d (ratio %.2f)", r.window, target, ratio),
+			Kind: trace.KindFault, Layer: -1, Start: now, End: now})
+	}
+	r.resize(target)
+}
+
+// resize moves the working window to newM at an iteration boundary.
+// Growing prefetches the newly resident layers (their buffers are
+// claimed at issue, like any prefetch); shrinking offloads the evicted
+// layers — whose parameters were just updated on-GPU — back to the
+// host, releasing their buffers and routing the next forward prefetch
+// through the offload's completion signal.
+func (r *iterRun) resize(newM int) {
+	cfg := r.e.Model.Cfg
+	if newM > r.window {
+		for j := r.window; j < newM && j < r.n; j++ {
+			deps := []*sim.Signal{r.optDone[j]}
+			if r.e.Feat.UseNVMe {
+				deps = append(deps, r.nvmeStaged[j])
+			}
+			r.residentReady[j] = r.prefetch(deps, r.faultTr, fmt.Sprintf("grow prefetch L%d", j), j)
+		}
+	} else {
+		for j := newM; j < r.window && j < r.n; j++ {
+			r.optDone[j] = r.offload(nil, r.faultTr, fmt.Sprintf("shrink offload L%d", j), j,
+				r.scaleBytes(j, cfg.LayerWeightBytes()))
+			delete(r.residentReady, j)
+		}
+	}
+	r.window = newM
+}
+
+// emitFaultWindows appends the injected fault schedule itself to the
+// trace so degraded runs are visually debuggable: every stall, slow and
+// drop window that fell inside the simulated horizon.
+func emitFaultWindows(tr *trace.Trace, inj *fault.Injector, horizon sim.Time) {
+	for _, w := range inj.Windows(horizon) {
+		name := string(w.Target)
+		switch {
+		case w.Drop:
+			name += " drop"
+		case w.Factor > 0:
+			name += fmt.Sprintf(" slow x%g", w.Factor)
+		default:
+			name += " stall"
+		}
+		tr.Add(trace.Span{Track: faultTrack, Name: name, Kind: trace.KindFault,
+			Layer: -1, Start: w.Start, End: w.End})
+	}
+}
+
+// teardown releases every buffer still held at the end of a run and
+// destroys the window pool, so arena accounting balances (alloc ==
+// free) run after run — including runs with retried copies and resized
+// windows. It runs after result assembly and touches no engine state.
+func (r *iterRun) teardown() {
+	switch {
+	case r.pool != nil:
+		for layer := range r.layerBuf {
+			r.releaseLayer(layer)
+		}
+		r.pool.Destroy()
+	case r.cache != nil:
+		for layer := range r.layerCache {
+			r.releaseLayer(layer)
+		}
+		r.cache.ReleaseAll()
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"stronghold/internal/fault"
 	"stronghold/internal/hw"
 	"stronghold/internal/mem"
 	"stronghold/internal/modelcfg"
@@ -65,6 +66,15 @@ type Engine struct {
 	// 2x the fraction) to every PCIe transfer — the robustness study of
 	// how window depth absorbs transfer-time variability.
 	TransferJitter float64
+	// Faults, when non-nil and non-empty, injects the plan's
+	// deterministic degradations and switches the engine into degraded
+	// mode: retrying transfers, deadline tracking, and (see Adapt) the
+	// mid-run window re-solve. A nil or empty plan leaves the
+	// simulation byte-for-byte identical to an engine without the
+	// field.
+	Faults *fault.Plan
+	// Adapt tunes degraded-mode behavior; zero value = defaults.
+	Adapt AdaptConfig
 }
 
 // NewEngine builds a STRONGHOLD engine with default features.
@@ -136,20 +146,28 @@ func (e *Engine) availableWindowBytes() int64 {
 
 // Run simulates iters training iterations and returns the steady-state
 // result (the duration of the final iteration). When tr is non-nil the
-// final iteration's spans are recorded into it.
+// final iteration's spans are recorded into it (plus, in degraded mode,
+// fault and recovery events from the whole run).
 func (e *Engine) Run(iters int, tr *trace.Trace) perf.IterationResult {
+	res, _ := e.runSim(iters, tr)
+	return res
+}
+
+// runSim is Run plus white-box access to the finished run state — the
+// property tests use it to audit arena balance and window trajectory.
+func (e *Engine) runSim(iters int, tr *trace.Trace) (perf.IterationResult, *iterRun) {
 	res := perf.IterationResult{Method: e.method()}
 	cfg := e.Model.Cfg
 	if err := cfg.Validate(); err != nil {
 		res.OOM, res.OOMDetail = true, err.Error()
-		return res
+		return res, nil
 	}
 	window := e.Window
 	if window == 0 {
 		d, err := e.SolvedWindow()
 		if err != nil {
 			res.OOM, res.OOMDetail = true, err.Error()
-			return res
+			return res, nil
 		}
 		window = d.M
 	}
@@ -161,37 +179,60 @@ func (e *Engine) Run(iters int, tr *trace.Trace) perf.IterationResult {
 	if !fp.Fits(plat.GPU.MemBytes, plat.CPU.UsableMemBytes, plat.NVMe.Bytes) {
 		res.OOM = true
 		res.OOMDetail = fmt.Sprintf("footprint gpu=%d host=%d disk=%d exceeds capacity", fp.GPU, fp.Host, fp.Disk)
-		return res
+		return res, nil
 	}
 	res.GPUPeak = fp.GPU
 
 	if e.LayerScale != nil && len(e.LayerScale) != cfg.Layers {
 		res.OOM = true
 		res.OOMDetail = fmt.Sprintf("LayerScale has %d entries for %d layers", len(e.LayerScale), cfg.Layers)
-		return res
+		return res, nil
+	}
+	faulted := !e.Faults.Empty()
+	var inj *fault.Injector
+	if faulted {
+		var err error
+		if inj, err = fault.NewInjector(e.Faults); err != nil {
+			res.OOM, res.OOMDetail = true, err.Error()
+			return res, nil
+		}
 	}
 	eng := sim.NewEngine()
 	machine, err := hw.NewMachine(eng, plat, min(fp.Host, plat.CPU.UsableMemBytes-1))
 	if err != nil {
 		res.OOM, res.OOMDetail = true, err.Error()
-		return res
+		return res, nil
 	}
 	if e.TransferJitter > 0 {
 		machine.H2D.SetJitter(1, e.TransferJitter)
 		machine.D2H.SetJitter(2, e.TransferJitter)
 	}
-	// Schedule every iteration up front: cross-iteration dependencies
-	// are expressed through signals, so the CPU-optimizer tail of one
-	// iteration overlaps the next iteration's forward pass exactly as
-	// in the real runtime.
-	run := newIterRun(e, machine, window, streams)
-	ends := make([]*sim.Signal, iters)
-	for it := 0; it < iters; it++ {
-		var itTrace *trace.Trace
-		if it == iters-1 && tr != nil {
-			itTrace = tr
+	// In degraded mode the buffer pool is sized for the largest window
+	// the adaptive re-solve may grow into; on the clean path this is
+	// exactly the solved window, preserving the pool's byte accounting.
+	bufWindow := window
+	if faulted && !e.Adapt.DisableResolve {
+		bufWindow = e.maxFeasibleWindow(window, streams)
+	}
+	run := newIterRun(e, machine, window, bufWindow, streams)
+	var ends []*sim.Signal
+	if faulted {
+		run.enableFaults(inj, e.Adapt.withDefaults(), tr,
+			UniformProfile(e.Model, e.availableWindowBytes(), e.optWorkers()), bufWindow)
+		ends = run.runAdaptive(iters, tr)
+	} else {
+		// Schedule every iteration up front: cross-iteration dependencies
+		// are expressed through signals, so the CPU-optimizer tail of one
+		// iteration overlaps the next iteration's forward pass exactly as
+		// in the real runtime.
+		ends = make([]*sim.Signal, iters)
+		for it := 0; it < iters; it++ {
+			var itTrace *trace.Trace
+			if it == iters-1 && tr != nil {
+				itTrace = tr
+			}
+			ends[it] = run.iteration(itTrace)
 		}
-		ends[it] = run.iteration(itTrace)
 	}
 	eng.Run()
 	res.Steps = eng.Steps()
@@ -205,12 +246,20 @@ func (e *Engine) Run(iters int, tr *trace.Trace) perf.IterationResult {
 	if run.cache != nil {
 		res.CacheOps = run.cache.Hits() + run.cache.Misses()
 	}
+	res.Retries = run.retries
+	res.DeadlineMisses = run.deadlineMisses
+	res.WindowResolves = run.resolves
+	res.FinalWindow = run.window
+	if faulted && tr != nil {
+		emitFaultWindows(tr, inj, eng.Now())
+	}
 	if tr != nil {
 		res.Overlap = tr.OverlapFraction(
 			[]trace.Kind{trace.KindCompute},
 			[]trace.Kind{trace.KindH2D, trace.KindD2H, trace.KindNVMe})
 	}
-	return res
+	run.teardown()
+	return res, run
 }
 
 // iterRun holds the cross-iteration simulation state of one engine.
@@ -243,9 +292,28 @@ type iterRun struct {
 	layerBuf     map[int][]int
 	layerCache   map[int][]*mem.Block
 	cacheFlushes uint64
+
+	// Degraded mode (all nil/zero on the clean path; see degrade.go).
+	inj         *fault.Injector
+	adapt       AdaptConfig
+	faultTr     *trace.Trace // whole-run fault/recovery event sink
+	baseProfile Profile      // clean warm-up profile the re-solve rescales
+	baseWindow  int          // clean solver decision (shrink floor)
+	maxWindow   int          // memory-feasible ceiling (grow limit)
+	// residentReady[i] gates layer i's first use after a mid-run grow:
+	// its prefetch may still be in flight at the iteration boundary.
+	residentReady  map[int]*sim.Signal
+	obsNominal     sim.Time // model-predicted transfer time, this iteration
+	obsActual      sim.Time // observed transfer time incl. retry backoff
+	retries        uint64
+	deadlineMisses uint64
+	resolves       uint64
 }
 
-func newIterRun(e *Engine, machine *hw.Machine, window, streams int) *iterRun {
+// newIterRun prepares run state. bufWindow ≥ window sizes the reserved
+// buffer pool; it exceeds window only in degraded mode, where the
+// adaptive re-solve may grow the window to it.
+func newIterRun(e *Engine, machine *hw.Machine, window, bufWindow, streams int) *iterRun {
 	cfg := e.Model.Cfg
 	perStream := e.Model
 	perStream.Cfg.BatchSize = cfg.BatchSize / streams
@@ -278,7 +346,7 @@ func newIterRun(e *Engine, machine *hw.Machine, window, streams int) *iterRun {
 	}
 	perTensor := int64(float64(cfg.LayerWeightBytes()+cfg.LayerGradBytes()+cfg.ActivationBytesPerLayer())*maxScale)/tensorsPerLayer + 1
 	if e.Feat.UserLevelMemMgmt {
-		pool, err := mem.NewRoundRobinPool(machine.GPUMem, perTensor, (window+1)*tensorsPerLayer)
+		pool, err := mem.NewRoundRobinPool(machine.GPUMem, perTensor, (bufWindow+1)*tensorsPerLayer)
 		if err == nil {
 			r.pool = pool
 			r.layerBuf = make(map[int][]int)
@@ -395,10 +463,28 @@ func (r *iterRun) copyOp(deps []*sim.Signal, tr *trace.Trace, name string, layer
 		if h2d {
 			r.acquireLayer(layer) // buffer claimed at prefetch issue
 		}
-		res.Submit(dur, func(start, end sim.Time) {
+		if r.inj == nil {
+			res.Submit(dur, func(start, end sim.Time) {
+				if !h2d {
+					r.releaseLayer(layer) // buffer recycled at offload end
+				}
+				done(start, end)
+				sig.Fire()
+			})
+			return
+		}
+		// Degraded mode: the copy may hit a blackout window and retry
+		// with virtual-time backoff; its observed time feeds the
+		// adaptive re-solve.
+		tg := fault.D2H
+		if h2d {
+			tg = fault.H2D
+		}
+		r.submitWithRetry(res, tg, dur, func(start, end, delayed sim.Time) {
 			if !h2d {
-				r.releaseLayer(layer) // buffer recycled at offload end
+				r.releaseLayer(layer)
 			}
+			r.observeCopy(name, dur, start, end, delayed)
 			done(start, end)
 			sig.Fire()
 		})
@@ -503,7 +589,11 @@ func (r *iterRun) iteration(tr *trace.Trace) *sim.Signal {
 	fpOffloadDone := make([]*sim.Signal, n)
 	fpDone := make([]*sim.Signal, n) // all streams finished fp(i)
 	for i := 0; i < m && i < n; i++ {
-		prefetchDone[i] = sim.FiredSignal(eng) // resident from last BP
+		if sig := r.residentReady[i]; sig != nil {
+			prefetchDone[i] = sig // grown mid-run; prefetch may be in flight
+		} else {
+			prefetchDone[i] = sim.FiredSignal(eng) // resident from last BP
+		}
 	}
 
 	for i := 0; i < n; i++ {

@@ -131,6 +131,19 @@ type IterationResult struct {
 	// a determinism fingerprint: two runs of the same configuration
 	// must report identical counts.
 	Steps uint64
+	// Retries counts transfers reissued after hitting an injected
+	// blackout window (degraded-mode scheduling; zero without faults).
+	Retries uint64
+	// DeadlineMisses counts transfers whose observed completion exceeded
+	// the per-copy deadline derived from the analytical model.
+	DeadlineMisses uint64
+	// WindowResolves counts mid-run adaptive re-solves that changed the
+	// working window m.
+	WindowResolves uint64
+	// FinalWindow is the working-window size at the end of the run
+	// (equal to the initial window unless an adaptive re-solve moved it;
+	// zero for engines without a window).
+	FinalWindow int
 }
 
 // Throughput returns training samples processed per second for the

@@ -18,7 +18,20 @@ type Resource struct {
 	// transfer-time variability while keeping runs reproducible.
 	jitterFrac  float64
 	jitterState uint64
+
+	// stretch (optional) maps a task's (start, nominal duration) to its
+	// degraded completion time — the fault injector's hook. It must be a
+	// pure function of its arguments so replays stay deterministic, and
+	// must never return earlier than the nominal completion.
+	stretch func(start, dur Time) Time
 }
+
+// SetStretch installs a completion-time transform applied after jitter:
+// a task starting at start with nominal duration dur completes at
+// max(start+dur, fn(start, dur)). nil disables — the default — and the
+// undisturbed path is byte-for-byte identical to a resource that never
+// had a stretch installed.
+func (r *Resource) SetStretch(fn func(start, dur Time) Time) { r.stretch = fn }
 
 // SetJitter enables multiplicative duration jitter up to 2·frac,
 // seeded deterministically. frac 0 disables.
@@ -62,8 +75,13 @@ func (r *Resource) Submit(duration Time, done func(start, end Time)) Time {
 	duration = r.jittered(duration)
 	start := max(r.eng.Now(), r.busyUntil)
 	end := start + duration
+	if r.stretch != nil {
+		if s := r.stretch(start, duration); s > end {
+			end = s
+		}
+	}
 	r.busyUntil = end
-	r.busyTotal += duration
+	r.busyTotal += end - start
 	r.tasks++
 	if done != nil {
 		r.eng.At(end, func() { done(start, end) })
@@ -129,6 +147,10 @@ func NewPool(eng *Engine, name string, n int) *Pool {
 
 // Size returns the number of workers.
 func (p *Pool) Size() int { return len(p.workers) }
+
+// Workers exposes the pool's resources, e.g. to install per-worker
+// degradation hooks.
+func (p *Pool) Workers() []*Resource { return p.workers }
 
 // Submit dispatches a task to the least-loaded worker and returns that
 // worker's completion time.

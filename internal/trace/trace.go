@@ -23,6 +23,7 @@ const (
 	KindOptimize Kind = "optimizer" // parameter update
 	KindNVMe     Kind = "nvme"      // secondary-storage I/O
 	KindNet      Kind = "network"   // cross-node communication
+	KindFault    Kind = "fault"     // injected fault / recovery event
 )
 
 // Span is one timed event on a named track.

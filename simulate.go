@@ -6,6 +6,7 @@ import (
 	"stronghold/internal/baselines"
 	"stronghold/internal/cluster"
 	"stronghold/internal/core"
+	"stronghold/internal/fault"
 	"stronghold/internal/hw"
 	"stronghold/internal/modelcfg"
 	"stronghold/internal/perf"
@@ -73,6 +74,18 @@ type SimConfig struct {
 	// LayerScale, when non-nil (length = Layers), scales each layer's
 	// compute and transfer volume — heterogeneous models (§III-B).
 	LayerScale []float64
+	// Faults, when non-empty, injects a deterministic fault plan into
+	// the run (STRONGHOLD methods only) — e.g.
+	// "seed=7;h2d:slow(at=0s,dur=1s,every=1s,factor=0.2)". See
+	// internal/fault for the plan grammar. The engine enters degraded
+	// mode: transfers stretch through fault windows, blackouts retry
+	// with backoff, and the working window re-solves from observed
+	// transfer drift.
+	Faults string
+	// DisableAdapt freezes the working window at its initial size under
+	// faults — the ablation arm that isolates what the adaptive
+	// re-solve contributes. No effect without Faults.
+	DisableAdapt bool
 }
 
 func (c SimConfig) resolve() (modelcfg.Config, hw.Platform, error) {
@@ -117,6 +130,11 @@ type SimResult struct {
 	Overlap float64
 	OOM     bool
 	Detail  string
+	// Degraded-mode counters, all zero without a fault plan.
+	Retries        uint64 // transfer reissues after blackout windows
+	DeadlineMisses uint64 // transfers past DeadlineFactor× their nominal time
+	WindowResolves uint64 // adaptive window re-solves triggered mid-run
+	FinalWindow    int    // working window after the last re-solve
 }
 
 // Simulate runs one steady-state iteration of the configured method.
@@ -124,6 +142,9 @@ func Simulate(c SimConfig) (SimResult, error) {
 	cfg, plat, err := c.resolve()
 	if err != nil {
 		return SimResult{}, err
+	}
+	if c.Faults != "" && c.Method != Stronghold && c.Method != StrongholdNVMe {
+		return SimResult{}, fmt.Errorf("stronghold: fault injection requires a STRONGHOLD method, got %v", c.Method)
 	}
 	m := perf.NewModel(cfg, plat)
 	var r perf.IterationResult
@@ -138,6 +159,14 @@ func Simulate(c SimConfig) (SimResult, error) {
 		e.Feat.UseNVMe = c.Method == StrongholdNVMe
 		e.TransferJitter = c.TransferJitter
 		e.LayerScale = c.LayerScale
+		if c.Faults != "" {
+			plan, err := fault.ParsePlan(c.Faults)
+			if err != nil {
+				return SimResult{}, fmt.Errorf("stronghold: fault plan: %w", err)
+			}
+			e.Faults = plan
+			e.Adapt.DisableResolve = c.DisableAdapt
+		}
 		tr = trace.New()
 		r = e.Run(3, tr)
 	case ZeRO2, ZeRO3:
@@ -157,6 +186,10 @@ func Simulate(c SimConfig) (SimResult, error) {
 		out.TFLOPS = r.TFLOPS(m.TotalFlops())
 		out.GPUPeakGB = float64(r.GPUPeak) / float64(hw.GB)
 		out.Overlap = r.Overlap
+		out.Retries = r.Retries
+		out.DeadlineMisses = r.DeadlineMisses
+		out.WindowResolves = r.WindowResolves
+		out.FinalWindow = r.FinalWindow
 	}
 	return out, nil
 }
