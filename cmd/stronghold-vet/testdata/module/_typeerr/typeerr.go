@@ -1,0 +1,7 @@
+// Package typeerr fails the type checker: the loader must surface the
+// error with a distinct message and force exit status 2. The leading
+// underscore keeps it out of ./... expansion.
+package typeerr
+
+// Broken returns the wrong type.
+func Broken() int { return "not an int" }

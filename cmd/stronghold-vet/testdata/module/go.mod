@@ -1,0 +1,3 @@
+module vetfix
+
+go 1.22

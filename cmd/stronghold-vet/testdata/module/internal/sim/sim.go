@@ -1,0 +1,17 @@
+// Package sim mimics the real simulator's package shape: scoping in
+// stronghold-vet is by import-path suffix, so vetfix/internal/sim puts
+// its importers into simulation scope without depending on the real
+// module.
+package sim
+
+// Time is virtual time in nanoseconds.
+type Time = int64
+
+// Engine is a minimal stand-in for the event engine.
+type Engine struct{ now Time }
+
+// Now returns the virtual clock.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn after delay; invocation order is the event order.
+func (e *Engine) Schedule(delay Time, fn func()) { fn() }

@@ -1,0 +1,17 @@
+// Package trace mimics the real trace emitter: Add order is part of
+// the byte-compared output.
+package trace
+
+// Span is one rendered interval.
+type Span struct {
+	Track string
+	Name  string
+	Start int64
+	End   int64
+}
+
+// Trace accumulates spans in emission order.
+type Trace struct{ spans []Span }
+
+// Add appends one span.
+func (t *Trace) Add(s Span) { t.spans = append(t.spans, s) }

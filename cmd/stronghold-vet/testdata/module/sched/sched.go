@@ -1,0 +1,46 @@
+// Package sched is the simulation-scoped fixture package: one
+// violation per rule family, one suppressed finding, and one stale
+// suppression for the -unused-ignores audit.
+package sched
+
+import (
+	"sort"
+
+	"vetfix/clock"
+	"vetfix/internal/sim"
+	"vetfix/internal/trace"
+)
+
+// Deadline mixes wall-clock time into a simulation deadline through
+// the out-of-scope clock package.
+func Deadline(eng *sim.Engine) sim.Time {
+	return eng.Now() + clock.Stamp()
+}
+
+// EmitAll leaks map iteration order into the trace.
+func EmitAll(tr *trace.Trace, spans map[int]trace.Span) {
+	for _, s := range spans {
+		tr.Add(s)
+	}
+}
+
+// Payload uses the legacy empty-interface spelling twice (fixable).
+func Payload(v interface{}) interface{} { return v }
+
+// Quiet is the same spelling, suppressed: the finding must not appear.
+func Quiet(v interface{}) any { return v } //vet:ignore anystyle fixture: suppression must hold
+
+// Sorted is clean; its marker is stale and only surfaces under
+// -unused-ignores.
+//
+//vet:ignore maporder stale: the sort below makes this clean
+func Sorted(tr *trace.Trace, spans map[int]trace.Span) {
+	keys := make([]int, 0, len(spans))
+	for k := range spans {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		tr.Add(spans[k])
+	}
+}

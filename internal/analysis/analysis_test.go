@@ -56,10 +56,26 @@ func wantDiags(t *testing.T, pkg *Package) map[string][]*regexp.Regexp {
 // expected diagnostics: every want matched, nothing unexpected.
 func runFixture(t *testing.T, loader *Loader, a *Analyzer, name string) {
 	t.Helper()
-	pkg := loadFixture(t, loader, name)
-	wants := wantDiags(t, pkg)
+	runFixtureSet(t, loader, a, name)
+}
+
+// runFixtureSet loads several fixture packages and analyzes them as one
+// module, so module-wide rules see cross-package call edges (e.g. a
+// scoped package plus the out-of-scope helper it calls). Wants are
+// collected from every named fixture.
+func runFixtureSet(t *testing.T, loader *Loader, a *Analyzer, names ...string) {
+	t.Helper()
+	var pkgs []*Package
+	wants := make(map[string][]*regexp.Regexp)
+	for _, name := range names {
+		pkg := loadFixture(t, loader, name)
+		pkgs = append(pkgs, pkg)
+		for key, res := range wantDiags(t, pkg) {
+			wants[key] = append(wants[key], res...)
+		}
+	}
 	runner := &Runner{Analyzers: []*Analyzer{a}}
-	for _, d := range runner.Run(pkg) {
+	for _, d := range runner.RunPackages(pkgs).Diags {
 		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
 		matched := false
 		for i, re := range wants[key] {
@@ -70,12 +86,12 @@ func runFixture(t *testing.T, loader *Loader, a *Analyzer, name string) {
 			}
 		}
 		if !matched {
-			t.Errorf("%s: unexpected diagnostic: %s", name, d)
+			t.Errorf("%s: unexpected diagnostic: %s", strings.Join(names, "+"), d)
 		}
 	}
 	for key, res := range wants {
 		for _, re := range res {
-			t.Errorf("%s: missing diagnostic at %s matching %q", name, key, re)
+			t.Errorf("%s: missing diagnostic at %s matching %q", strings.Join(names, "+"), key, re)
 		}
 	}
 }
@@ -129,11 +145,90 @@ func TestAnyStyle(t *testing.T) {
 	runFixture(t, loader, AnyStyle, "anystyle_clean")
 }
 
+func TestMapOrder(t *testing.T) {
+	loader := newTestLoader(t)
+	runFixture(t, loader, MapOrder, "maporder_bad")
+	runFixture(t, loader, MapOrder, "maporder_clean")
+}
+
+// TestWallClock exercises the interprocedural frontier: the wall-clock
+// reads live in wallclock_helper (outside simulation scope), and the
+// findings land at the call sites in wallclock_bad where the taint
+// enters scope.
+func TestWallClock(t *testing.T) {
+	loader := newTestLoader(t)
+	runFixtureSet(t, loader, WallClock, "wallclock_bad", "wallclock_helper")
+	runFixtureSet(t, loader, WallClock, "wallclock_clean", "wallclock_helper")
+}
+
+func TestSeedFlow(t *testing.T) {
+	loader := newTestLoader(t)
+	runFixtureSet(t, loader, SeedFlow, "seedflow_bad", "seedflow_helper")
+	runFixtureSet(t, loader, SeedFlow, "seedflow_clean", "seedflow_helper")
+}
+
+func TestErrDrop(t *testing.T) {
+	loader := newTestLoader(t)
+	runFixture(t, loader, ErrDrop, "errdrop_bad")
+	runFixture(t, loader, ErrDrop, "errdrop_clean")
+}
+
+// TestMapOrderChain asserts the interprocedural finding carries its
+// call chain as related locations down to the sink site.
+func TestMapOrderChain(t *testing.T) {
+	loader := newTestLoader(t)
+	pkg := loadFixture(t, loader, "maporder_bad")
+	runner := &Runner{Analyzers: []*Analyzer{MapOrder}}
+	var viaHelper *Diagnostic
+	diags := runner.Run(pkg)
+	for i, d := range diags {
+		if strings.Contains(d.Message, "via maporder_bad.emit") {
+			viaHelper = &diags[i]
+		}
+	}
+	if viaHelper == nil {
+		t.Fatal("no via-helper diagnostic found")
+	}
+	if len(viaHelper.Related) < 2 {
+		t.Fatalf("want >=2 related locations (call + sink), got %v", viaHelper.Related)
+	}
+	if !strings.Contains(viaHelper.Related[0].Message, "calls maporder_bad.emit") {
+		t.Errorf("first hop = %q, want call to emit", viaHelper.Related[0].Message)
+	}
+	last := viaHelper.Related[len(viaHelper.Related)-1]
+	if !strings.Contains(last.Message, "trace.Trace.Add here") {
+		t.Errorf("last hop = %q, want sink site", last.Message)
+	}
+}
+
 // TestSuppression exercises //vet:ignore in both positions: trailing
 // and on the preceding line. Only the unannotated violation survives.
 func TestSuppression(t *testing.T) {
 	loader := newTestLoader(t)
 	runFixture(t, loader, DroppedSignal, "suppress")
+}
+
+// TestUnusedIgnores: a marker that suppresses a real finding is used; a
+// stale marker for a selected rule is reported; a marker naming a rule
+// outside the selected set stays quiet.
+func TestUnusedIgnores(t *testing.T) {
+	loader := newTestLoader(t)
+	pkg := loadFixture(t, loader, "unusedignore")
+	runner := &Runner{Analyzers: []*Analyzer{ErrDrop}}
+	res := runner.RunPackages([]*Package{pkg})
+	if len(res.Diags) != 0 {
+		t.Errorf("want no surviving diagnostics, got %v", res.Diags)
+	}
+	if len(res.UnusedIgnores) != 1 {
+		t.Fatalf("want exactly 1 unused ignore, got %v", res.UnusedIgnores)
+	}
+	u := res.UnusedIgnores[0]
+	if u.Rule != "errdrop" {
+		t.Errorf("unused ignore rule = %q, want errdrop", u.Rule)
+	}
+	if !strings.Contains(u.String(), "unused //vet:ignore") {
+		t.Errorf("String() = %q, want unused marker rendering", u.String())
+	}
 }
 
 // TestRealTreeIsClean is the dogfooding gate in test form: the whole
@@ -150,7 +245,7 @@ func TestRealTreeIsClean(t *testing.T) {
 	if len(paths) < 10 {
 		t.Fatalf("suspiciously few packages found: %v", paths)
 	}
-	runner := NewRunner()
+	var pkgs []*Package
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
@@ -159,15 +254,23 @@ func TestRealTreeIsClean(t *testing.T) {
 		for _, terr := range pkg.TypeErrors {
 			t.Errorf("%s: type error: %v", path, terr)
 		}
-		for _, d := range runner.Run(pkg) {
-			t.Errorf("%s: %s", path, d)
-		}
+		pkgs = append(pkgs, pkg)
+	}
+	res := NewRunner().RunPackages(pkgs)
+	for _, d := range res.Diags {
+		t.Errorf("%s", d)
+	}
+	for _, u := range res.UnusedIgnores {
+		t.Errorf("%s", u)
 	}
 }
 
 // TestDefaultAnalyzers pins the published rule set.
 func TestDefaultAnalyzers(t *testing.T) {
-	want := []string{"simtime", "enginepure", "droppedsignal", "bufdiscipline", "anystyle"}
+	want := []string{
+		"simtime", "enginepure", "droppedsignal", "bufdiscipline", "anystyle",
+		"maporder", "wallclock", "seedflow", "errdrop",
+	}
 	got := DefaultAnalyzers()
 	if len(got) != len(want) {
 		t.Fatalf("got %d analyzers, want %d", len(got), len(want))
@@ -176,8 +279,11 @@ func TestDefaultAnalyzers(t *testing.T) {
 		if a.Name != want[i] {
 			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
 		}
-		if a.Doc == "" || a.Run == nil {
-			t.Errorf("analyzer %q missing doc or run", a.Name)
+		if a.Doc == "" {
+			t.Errorf("analyzer %q missing doc", a.Name)
+		}
+		if (a.Run == nil) == (a.RunModule == nil) {
+			t.Errorf("analyzer %q must set exactly one of Run and RunModule", a.Name)
 		}
 	}
 }

@@ -21,7 +21,14 @@ func runAnyStyle(pass *Pass) {
 				return true
 			}
 			if it.Methods == nil || len(it.Methods.List) == 0 {
-				pass.Reportf(it.Pos(), "use any instead of interface{}")
+				pass.Report(Diagnostic{
+					Pos:     pass.Fset.Position(it.Pos()),
+					Message: "use any instead of interface{}",
+					Fix: &Fix{
+						Message: "replace interface{} with any",
+						Edits:   []Edit{pass.Edit(it.Pos(), it.End(), "any")},
+					},
+				})
 			}
 			return true
 		})

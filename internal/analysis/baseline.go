@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline support for incremental adoption: a baseline file records
+// accepted findings so a newly-enabled rule can land without blocking
+// on a full cleanup, while still failing the build on anything new.
+//
+// Entries are line-number-free — `path: rule: message` with path
+// relative to the module root — so unrelated edits above a grandfathered
+// finding do not invalidate the baseline.
+
+// BaselineKey is the stable identity of a diagnostic in a baseline
+// file.
+func BaselineKey(d Diagnostic, root string) string {
+	name := d.Pos.Filename
+	if root != "" {
+		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+	}
+	return fmt.Sprintf("%s: %s: %s", filepath.ToSlash(name), d.Rule, d.Message)
+}
+
+// ReadBaseline loads a baseline file into a key set. Blank lines and
+// #-comments are skipped.
+func ReadBaseline(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]bool)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out[line] = true
+	}
+	return out, sc.Err()
+}
+
+// WriteBaseline writes the diagnostics as a sorted baseline file.
+func WriteBaseline(path string, diags []Diagnostic, root string) error {
+	keys := make([]string, 0, len(diags))
+	for _, d := range diags {
+		keys = append(keys, BaselineKey(d, root))
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("# stronghold-vet baseline: grandfathered findings, one `path: rule: message` per line.\n")
+	for i, k := range keys {
+		if i > 0 && keys[i-1] == k {
+			continue
+		}
+		b.WriteString(k)
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// FilterBaseline drops diagnostics present in the baseline set and
+// returns the survivors.
+func FilterBaseline(diags []Diagnostic, baseline map[string]bool, root string) []Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		if baseline[BaselineKey(d, root)] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	root := filepath.Join("/", "work", "mod")
+	old := Diagnostic{
+		Pos:     token.Position{Filename: filepath.Join(root, "internal", "core", "engine.go"), Line: 42, Column: 2},
+		Rule:    "maporder",
+		Message: "map iteration order reaches a sink",
+	}
+	path := filepath.Join(t.TempDir(), "vet-baseline.txt")
+	if err := WriteBaseline(path, []Diagnostic{old, old}, root); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.HasPrefix(text, "#") {
+		t.Errorf("baseline missing header comment:\n%s", text)
+	}
+	if got := strings.Count(text, "maporder"); got != 1 {
+		t.Errorf("duplicate entries not collapsed: %d occurrences", got)
+	}
+	if !strings.Contains(text, "internal/core/engine.go: maporder: map iteration order reaches a sink") {
+		t.Errorf("entry not in line-number-free `path: rule: message` form:\n%s", text)
+	}
+
+	baseline, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same finding on a different line still matches: entries are
+	// line-number-free by design.
+	moved := old
+	moved.Pos.Line = 99
+	fresh := Diagnostic{
+		Pos:     token.Position{Filename: filepath.Join(root, "internal", "sim", "engine.go"), Line: 7, Column: 1},
+		Rule:    "wallclock",
+		Message: "something new",
+	}
+	kept := FilterBaseline([]Diagnostic{moved, fresh}, baseline, root)
+	if len(kept) != 1 || kept[0].Rule != "wallclock" {
+		t.Errorf("FilterBaseline kept %v, want only the fresh wallclock finding", kept)
+	}
+}
+
+func TestReadBaselineSkipsCommentsAndBlanks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.txt")
+	content := "# header\n\na.go: simtime: msg\n  \nb.go: errdrop: other\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !got["a.go: simtime: msg"] || !got["b.go: errdrop: other"] {
+		t.Errorf("ReadBaseline = %v", got)
+	}
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags discarded error results on the fault, retry and NVMe
+// paths — the fault injector itself, the hardware models that own the
+// NVMe queue, and every package that drives them. On these paths a
+// silently dropped error is exactly how a degraded run diverges from
+// its replay: the retry loop believes a reissue succeeded, the
+// deadline accounting never fires, and the chaos-matrix byte
+// comparison fails three PRs later with no breadcrumb. A call used as
+// a bare statement discards its error invisibly; the sanctioned forms
+// are handling it, returning it, or the explicit (greppable) `_ =`
+// discard — or a //vet:ignore with a reason.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "forbid silently discarded error results on fault/retry/NVMe paths",
+	Run:  runErrDrop,
+}
+
+// errDropScoped: the fault and hw packages by identity, plus any
+// package that imports the fault injector (the engine's degraded-mode
+// and retry paths live there).
+func errDropScoped(pass *Pass) bool {
+	path := pass.PkgPath
+	if strings.HasSuffix(path, faultPkgSuffix) || strings.HasSuffix(path, hwPkgSuffix) {
+		return true
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		if strings.HasSuffix(imp.Path(), faultPkgSuffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runErrDrop(pass *Pass) {
+	if !errDropScoped(pass) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[call]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if !resultHasError(tv.Type) {
+				return true
+			}
+			if errDropExcluded(pass, call) {
+				return true
+			}
+			name := callDisplay(pass, call)
+			pass.Reportf(call.Pos(),
+				"%s returns an error that is silently discarded on a fault/NVMe path: handle it, return it, or discard explicitly with _ =",
+				name)
+			return true
+		})
+	}
+}
+
+// errDropExcluded reports calls whose error return exists only to
+// satisfy an io interface and cannot fire in practice: fmt's print
+// family and the in-memory builders. Flagging those would bury the
+// real drops in noise.
+func errDropExcluded(pass *Pass, call *ast.CallExpr) bool {
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if pkgPath, _ := pkgFuncUseInfo(pass.Info, sel); pkgPath == "fmt" {
+			return true
+		}
+	}
+	if named, _ := methodCalleeInfo(pass.Info, call); named != nil {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil {
+			p := obj.Pkg().Path()
+			if (p == "strings" && obj.Name() == "Builder") ||
+				(p == "bytes" && obj.Name() == "Buffer") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// resultHasError reports whether a call result type is, or contains,
+// the error type.
+func resultHasError(t types.Type) bool {
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() == nil && obj.Name() == "error"
+}
+
+// callDisplay renders the callee for the diagnostic, best effort.
+func callDisplay(pass *Pass, call *ast.CallExpr) string {
+	if fn := CalleeFunc(pass.Info, call); fn != nil {
+		return FuncDisplay(fn)
+	}
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Edit replaces the byte range [Start, End) of Filename with NewText.
+// Offsets refer to the file content the diagnostics were produced
+// from; edits within one run must not overlap.
+type Edit struct {
+	Filename string
+	Start    int
+	End      int
+	NewText  string
+}
+
+// Fix is a mechanical resolution of a diagnostic: apply every edit and
+// the finding disappears. Only rules whose rewrite is semantics-
+// preserving by construction attach one (e.g. anystyle's
+// interface{}→any); the determinism rules require human judgement and
+// stay report-only.
+type Fix struct {
+	Message string
+	Edits   []Edit
+}
+
+// FixedFiles applies every fix in diags and returns the new content of
+// each touched file, keyed by filename. Overlapping edits (two
+// diagnostics rewriting the same range) are applied once; conflicting
+// overlaps are an error.
+func FixedFiles(diags []Diagnostic) (map[string][]byte, error) {
+	byFile := make(map[string][]Edit)
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			byFile[e.Filename] = append(byFile[e.Filename], e)
+		}
+	}
+	var files []string
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	out := make(map[string][]byte, len(files))
+	for _, name := range files {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("applying fixes: %w", err)
+		}
+		edits := byFile[name]
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].Start != edits[j].Start {
+				return edits[i].Start < edits[j].Start
+			}
+			return edits[i].End < edits[j].End
+		})
+		// Dedup identical edits, reject conflicting overlaps.
+		kept := edits[:0]
+		for i, e := range edits {
+			if i > 0 {
+				prev := kept[len(kept)-1]
+				if e == prev {
+					continue
+				}
+				if e.Start < prev.End {
+					return nil, fmt.Errorf("applying fixes: conflicting edits in %s at offsets %d and %d", name, prev.Start, e.Start)
+				}
+			}
+			if e.Start < 0 || e.End > len(src) || e.Start > e.End {
+				return nil, fmt.Errorf("applying fixes: edit out of range in %s: [%d, %d)", name, e.Start, e.End)
+			}
+			kept = append(kept, e)
+		}
+		var buf []byte
+		last := 0
+		for _, e := range kept {
+			buf = append(buf, src[last:e.Start]...)
+			buf = append(buf, e.NewText...)
+			last = e.End
+		}
+		buf = append(buf, src[last:]...)
+		out[name] = buf
+	}
+	return out, nil
+}
+
+// WriteFixes applies every fix in diags in place and returns the
+// touched filenames, sorted.
+func WriteFixes(diags []Diagnostic) ([]string, error) {
+	fixed, err := FixedFiles(diags)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for name := range fixed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		info, err := os.Stat(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(name, fixed[name], info.Mode().Perm()); err != nil {
+			return nil, err
+		}
+	}
+	return names, nil
+}
+
+// Diff renders a unified diff between the on-disk files and their
+// fixed content, with paths displayed via the display function (the
+// CLI relativizes them to the module root).
+func Diff(diags []Diagnostic, display func(string) string) (string, error) {
+	fixed, err := FixedFiles(diags)
+	if err != nil {
+		return "", err
+	}
+	var names []string
+	for name := range fixed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return "", err
+		}
+		shown := display(name)
+		fmt.Fprintf(&b, "--- %s\n+++ %s (fixed)\n", shown, shown)
+		b.WriteString(unifiedDiff(splitLines(string(src)), splitLines(string(fixed[name]))))
+	}
+	return b.String(), nil
+}
+
+func splitLines(s string) []string {
+	lines := strings.SplitAfter(s, "\n")
+	if len(lines) > 0 && lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	return lines
+}
+
+// unifiedDiff emits hunks of an LCS line diff with 2 lines of context.
+// Quadratic, which is fine for source files.
+func unifiedDiff(a, b []string) string {
+	// LCS table.
+	n, m := len(a), len(b)
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	// Walk into an op list: ' ' keep, '-' delete, '+' insert.
+	type op struct {
+		kind byte
+		line string
+	}
+	var ops []op
+	for i, j := 0, 0; i < n || j < m; {
+		switch {
+		case i < n && j < m && a[i] == b[j]:
+			ops = append(ops, op{' ', a[i]})
+			i++
+			j++
+		case i < n && (j == m || lcs[i+1][j] >= lcs[i][j+1]):
+			ops = append(ops, op{'-', a[i]})
+			i++
+		default:
+			ops = append(ops, op{'+', b[j]})
+			j++
+		}
+	}
+	// Group into hunks with context.
+	const ctx = 2
+	var out strings.Builder
+	i := 0
+	aLine, bLine := 1, 1
+	for i < len(ops) {
+		if ops[i].kind == ' ' {
+			aLine++
+			bLine++
+			i++
+			continue
+		}
+		// Found a change; extend hunk to cover nearby changes.
+		start := i
+		end := i
+		for j := i; j < len(ops); j++ {
+			if ops[j].kind != ' ' {
+				end = j
+			} else if j-end > 2*ctx {
+				break
+			}
+		}
+		hunkStart := start - ctx
+		if hunkStart < 0 {
+			hunkStart = 0
+		}
+		hunkEnd := end + ctx
+		if hunkEnd > len(ops)-1 {
+			hunkEnd = len(ops) - 1
+		}
+		// Rewind line counters to hunkStart.
+		aStart, bStart := aLine, bLine
+		for j := start - 1; j >= hunkStart; j-- {
+			switch ops[j].kind {
+			case ' ':
+				aStart--
+				bStart--
+			case '-':
+				aStart--
+			case '+':
+				bStart--
+			}
+		}
+		aCount, bCount := 0, 0
+		for j := hunkStart; j <= hunkEnd; j++ {
+			switch ops[j].kind {
+			case ' ':
+				aCount++
+				bCount++
+			case '-':
+				aCount++
+			case '+':
+				bCount++
+			}
+		}
+		fmt.Fprintf(&out, "@@ -%d,%d +%d,%d @@\n", aStart, aCount, bStart, bCount)
+		for j := hunkStart; j <= hunkEnd; j++ {
+			line := ops[j].line
+			if !strings.HasSuffix(line, "\n") {
+				line += "\n"
+			}
+			out.WriteByte(ops[j].kind)
+			out.WriteString(line)
+		}
+		// Advance counters past the hunk.
+		for j := i; j <= hunkEnd; j++ {
+			switch ops[j].kind {
+			case ' ':
+				aLine++
+				bLine++
+			case '-':
+				aLine++
+			case '+':
+				bLine++
+			}
+		}
+		i = hunkEnd + 1
+	}
+	return out.String()
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags map iteration whose loop body reaches an
+// order-sensitive sink — directly or through any chain of static
+// calls. Go randomizes map iteration order per run, so a `range` over
+// a map that schedules sim events, emits trace spans, drives allocator
+// traffic or builds a canonical String() injects run-to-run variance
+// into exactly the outputs the chaos-matrix tests byte-compare. The
+// sanctioned pattern is to collect the keys, sort them, and range the
+// sorted slice (see mem.CachingAllocator.ReleaseAll); a body that only
+// collects keys into a slice is therefore clean by construction.
+var MapOrder = &Analyzer{
+	Name:      "maporder",
+	Doc:       "forbid map iteration that reaches an order-sensitive sink without a sort",
+	RunModule: runMapOrder,
+}
+
+func runMapOrder(pass *ModulePass) {
+	g := pass.Graph()
+	sinkReach := reachClosure(pass.Module, reachSinkOps, scanSinkOps)
+	for _, node := range g.Sorted {
+		if !determinismScoped(node.Pkg.Path, node.Pkg.Types) {
+			continue
+		}
+		info := node.Pkg.Info
+		inString := isStringMethod(node.Func)
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if inString && buildsString(info, rs.Body) {
+				pass.Reportf(rs.Pos(),
+					"map iteration order flows into the canonical %s output: collect and sort the keys first",
+					FuncDisplay(node.Func))
+				return true
+			}
+			if d, ok := bodySinkDiagnostic(pass, info, g, rs, sinkReach, node.Func); ok {
+				pass.Report(d)
+			}
+			return true
+		})
+	}
+}
+
+// bodySinkDiagnostic looks for an order-sensitive sink reachable from
+// the range body: a direct sink operation, or a call whose static
+// callee transitively performs one. The first (source-order) hit wins.
+func bodySinkDiagnostic(pass *ModulePass, info *types.Info, g *CallGraph, rs *ast.RangeStmt, sinkReach map[*types.Func]Witness, enclosing *types.Func) (Diagnostic, bool) {
+	var diag Diagnostic
+	found := false
+	scanSinkOps(info, rs.Body, func(pos token.Pos, desc string) {
+		if found {
+			return
+		}
+		found = true
+		diag = Diagnostic{
+			Pos: pass.Fset.Position(rs.Pos()),
+			Message: "map iteration order reaches " + desc +
+				" in " + FuncDisplay(enclosing) + ": iterate in sorted key order",
+			Related: []Related{{Pos: pass.Fset.Position(pos), Message: desc + " here"}},
+		}
+	})
+	if found {
+		return diag, true
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := CalleeFunc(info, call)
+		if callee == nil || callee == enclosing {
+			return true
+		}
+		w, ok := sinkReach[callee]
+		if !ok {
+			return true
+		}
+		found = true
+		related := []Related{{
+			Pos:     pass.Fset.Position(call.Pos()),
+			Message: "calls " + FuncDisplay(callee),
+		}}
+		related = append(related, g.Chain(callee, sinkReach)...)
+		diag = Diagnostic{
+			Pos: pass.Fset.Position(rs.Pos()),
+			Message: "map iteration order reaches " + w.Desc +
+				" via " + FuncDisplay(callee) + " in " + FuncDisplay(enclosing) + ": iterate in sorted key order",
+			Related: related,
+		}
+		return false
+	})
+	return diag, found
+}
+
+// buildsString reports whether the loop body appends to the method's
+// textual output: fmt calls, strings.Builder / bytes.Buffer writes, or
+// string concatenation. A body that only collects keys into a slice
+// (the sort-first pattern) builds nothing and stays clean.
+func buildsString(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if pkgPath, _ := pkgFuncUseInfo(info, sel); pkgPath == "fmt" {
+					found = true
+					return false
+				}
+			}
+			if named, _ := methodCalleeInfo(info, n); named != nil {
+				obj := named.Obj()
+				if obj != nil && obj.Pkg() != nil &&
+					((obj.Pkg().Path() == "strings" && obj.Name() == "Builder") ||
+						(obj.Pkg().Path() == "bytes" && obj.Name() == "Buffer")) {
+					found = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if t := info.Types[n.Lhs[0]].Type; t != nil && types.Identical(t.Underlying(), types.Typ[types.String]) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isStringMethod reports whether f is a `String() string` method — the
+// canonical-form sink where output text order is the contract (e.g.
+// fault.Plan.String is a parse fixed point).
+func isStringMethod(f *types.Func) bool {
+	if f.Name() != "String" {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+		types.Identical(sig.Results().At(0).Type(), types.Typ[types.String])
+}

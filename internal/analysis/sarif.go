@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 serialization for GitHub code scanning. Only the subset
+// of the schema the upload action consumes is emitted; the structure
+// follows the OASIS sarif-schema-2.1.0 property names exactly.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID           string          `json:"ruleId"`
+	RuleIndex        int             `json:"ruleIndex"`
+	Level            string          `json:"level"`
+	Message          sarifMessage    `json:"message"`
+	Locations        []sarifLocation `json:"locations"`
+	RelatedLocations []sarifLocation `json:"relatedLocations,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+	Message          *sarifMessage `json:"message,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SARIF renders diagnostics as a SARIF 2.1.0 log. rules is the full
+// analyzer set of the run (findings or not — code scanning wants the
+// rule catalog); root, when non-empty, makes artifact URIs relative to
+// it so the log is stable across checkouts.
+func SARIF(rules []*Analyzer, diags []Diagnostic, root string) ([]byte, error) {
+	driver := sarifDriver{
+		Name:  "stronghold-vet",
+		Rules: []sarifRule{},
+	}
+	ruleIndex := make(map[string]int, len(rules))
+	for i, a := range rules {
+		ruleIndex[a.Name] = i
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	results := []sarifResult{}
+	for _, d := range diags {
+		res := sarifResult{
+			RuleID:    d.Rule,
+			RuleIndex: ruleIndex[d.Rule],
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: sarifURI(d.Pos.Filename, root), URIBaseID: "%SRCROOT%"},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		}
+		for _, rel := range d.Related {
+			msg := rel.Message
+			res.RelatedLocations = append(res.RelatedLocations, sarifLocation{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: sarifURI(rel.Pos.Filename, root), URIBaseID: "%SRCROOT%"},
+					Region:           sarifRegion{StartLine: rel.Pos.Line, StartColumn: rel.Pos.Column},
+				},
+				Message: &sarifMessage{Text: msg},
+			})
+		}
+		results = append(results, res)
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: driver},
+			Results: results,
+		}},
+	}
+	out, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// sarifURI relativizes filename against root and normalizes to
+// forward slashes.
+func sarifURI(filename, root string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			filename = rel
+		}
+	}
+	return filepath.ToSlash(filename)
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSARIF(t *testing.T) {
+	root := filepath.Join("/", "work", "mod")
+	diags := []Diagnostic{
+		{
+			Pos:     token.Position{Filename: filepath.Join(root, "internal", "core", "engine.go"), Line: 10, Column: 2},
+			Rule:    "maporder",
+			Message: "map iteration order reaches a sink",
+			Related: []Related{{
+				Pos:     token.Position{Filename: filepath.Join(root, "internal", "trace", "trace.go"), Line: 5, Column: 1},
+				Message: "sink here",
+			}},
+		},
+		{
+			Pos:     token.Position{Filename: filepath.Join(root, "cmd", "main.go"), Line: 3, Column: 1},
+			Rule:    "anystyle",
+			Message: "use any instead of interface{}",
+		},
+	}
+	out, err := SARIF(DefaultAnalyzers(), diags, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				RelatedLocations []struct {
+					Message struct {
+						Text string `json:"text"`
+					} `json:"message"`
+				} `json:"relatedLocations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("want 1 run, got %d", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "stronghold-vet" {
+		t.Errorf("driver = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(DefaultAnalyzers()) {
+		t.Errorf("rule catalog has %d entries, want %d", len(run.Tool.Driver.Rules), len(DefaultAnalyzers()))
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(run.Results))
+	}
+	first := run.Results[0]
+	if first.RuleID != "maporder" || first.Level != "error" {
+		t.Errorf("first result = %+v", first)
+	}
+	if run.Tool.Driver.Rules[first.RuleIndex].ID != "maporder" {
+		t.Errorf("ruleIndex %d does not point at maporder", first.RuleIndex)
+	}
+	loc := first.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/core/engine.go" {
+		t.Errorf("uri = %q, want module-relative forward-slash path", loc.ArtifactLocation.URI)
+	}
+	if loc.ArtifactLocation.URIBaseID != "%SRCROOT%" {
+		t.Errorf("uriBaseId = %q", loc.ArtifactLocation.URIBaseID)
+	}
+	if loc.Region.StartLine != 10 {
+		t.Errorf("startLine = %d", loc.Region.StartLine)
+	}
+	if len(first.RelatedLocations) != 1 || first.RelatedLocations[0].Message.Text != "sink here" {
+		t.Errorf("relatedLocations = %+v", first.RelatedLocations)
+	}
+	if !strings.HasSuffix(string(out), "\n") {
+		t.Error("SARIF output must end in newline")
+	}
+}

@@ -10,9 +10,12 @@ import (
 // and the hardware models built on it. Paths are matched by suffix so
 // the rules survive a module rename.
 const (
-	simPkgSuffix = "internal/sim"
-	hwPkgSuffix  = "internal/hw"
-	memPkgSuffix = "internal/mem"
+	simPkgSuffix   = "internal/sim"
+	hwPkgSuffix    = "internal/hw"
+	memPkgSuffix   = "internal/mem"
+	tracePkgSuffix = "internal/trace"
+	faultPkgSuffix = "internal/fault"
+	perfPkgSuffix  = "internal/perf"
 )
 
 func isSimPkgPath(path string) bool { return strings.HasSuffix(path, simPkgSuffix) }
@@ -23,15 +26,35 @@ func isMemPkgPath(path string) bool { return strings.HasSuffix(path, memPkgSuffi
 // deterministic simulation: the engine itself, the hardware models, or
 // any package that builds directly on either.
 func isSimulationPkg(pass *Pass) bool {
-	if isSimPkgPath(pass.PkgPath) || isHwPkgPath(pass.PkgPath) {
+	return isSimulationScoped(pass.PkgPath, pass.Pkg)
+}
+
+// isSimulationScoped is isSimulationPkg on raw (path, types) pairs, for
+// module-wide rules that classify many packages.
+func isSimulationScoped(path string, pkg *types.Package) bool {
+	if isSimPkgPath(path) || isHwPkgPath(path) {
 		return true
 	}
-	for _, imp := range pass.Pkg.Imports() {
+	if pkg == nil {
+		return false
+	}
+	for _, imp := range pkg.Imports() {
 		if isSimPkgPath(imp.Path()) || isHwPkgPath(imp.Path()) {
 			return true
 		}
 	}
 	return false
+}
+
+// determinismScoped is the widest scope of the interprocedural
+// nondeterminism rules: the simulation packages plus the packages whose
+// internal ordering feeds them — the allocator, the trace recorder and
+// the fault injector.
+func determinismScoped(path string, pkg *types.Package) bool {
+	return isSimulationScoped(path, pkg) ||
+		strings.HasSuffix(path, memPkgSuffix) ||
+		strings.HasSuffix(path, tracePkgSuffix) ||
+		strings.HasSuffix(path, faultPkgSuffix)
 }
 
 // fileImportsSim reports whether one file imports the sim or hw

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SeedFlow enforces seed provenance for randomness in the simulation,
+// fault and scheduling packages: every random draw must flow from an
+// explicit seed. Two ways to break that contract are flagged:
+//
+//  1. a simulation-scoped function calls (through any chain of static
+//     calls) a helper outside simulation scope that draws from the
+//     unseeded global math/rand stream — the cross-package hole in
+//     simtime's per-package check;
+//  2. an explicitly-constructed generator is seeded FROM the wall
+//     clock (rand.NewSource(time.Now().UnixNano()) and variants),
+//     which launders nondeterminism through a "seeded" constructor.
+//
+// Direct global-rand draws inside simulation packages remain simtime
+// findings; the division keeps every hazard single-reported.
+var SeedFlow = &Analyzer{
+	Name:      "seedflow",
+	Doc:       "require randomness in sim/fault/core packages to flow from an explicit seed",
+	RunModule: runSeedFlow,
+}
+
+func runSeedFlow(pass *ModulePass) {
+	reportFrontier(pass, reachGlobalRand, scanGlobalRand,
+		"%s transitively draws from %s: thread an explicitly seeded *rand.Rand instead")
+
+	// Wall-clock-derived seeds: rand.NewSource/New/NewPCG/... whose
+	// argument expression reaches the wall clock, directly or through a
+	// called helper.
+	g := pass.Graph()
+	wallReach := reachClosure(pass.Module, reachWallClock, scanWallClock)
+	for _, node := range g.Sorted {
+		if !determinismScoped(node.Pkg.Path, node.Pkg.Types) {
+			continue
+		}
+		info := node.Pkg.Info
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name := pkgFuncUseInfo(info, sel)
+			if (pkgPath != "math/rand" && pkgPath != "math/rand/v2") || !seededRandCtors[name] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if pos, desc, ok := wallClockInExpr(info, arg, wallReach); ok {
+					d := Diagnostic{
+						Pos: pass.Fset.Position(call.Pos()),
+						Message: "generator seed derives from " + desc +
+							": seeds must be explicit so runs stay reproducible",
+						Related: []Related{{Pos: pass.Fset.Position(pos), Message: desc + " here"}},
+					}
+					pass.Report(d)
+					break
+				}
+			}
+			return true
+		})
+	}
+}
+
+// wallClockInExpr reports a wall-clock dependency inside an
+// expression: a direct time.Now/Since/... use, or a call to a function
+// that transitively reaches one. Nested seeded-constructor calls are
+// not descended into — they are audited (and reported) on their own,
+// so rand.New(rand.NewSource(time.Now().UnixNano())) yields one
+// finding at the innermost guilty constructor.
+func wallClockInExpr(info *types.Info, expr ast.Expr, wallReach map[*types.Func]Witness) (token.Pos, string, bool) {
+	var pos token.Pos
+	var desc string
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := unparen(n.Fun).(*ast.SelectorExpr); ok {
+				pkgPath, name := pkgFuncUseInfo(info, sel)
+				if (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && seededRandCtors[name] {
+					return false // the nested ctor owns its own args
+				}
+			}
+			if callee := CalleeFunc(info, n); callee != nil {
+				if w, ok := wallReach[callee]; ok {
+					pos, desc, found = n.Pos(), w.Desc+" (via "+FuncDisplay(callee)+")", true
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			pkgPath, name := pkgFuncUseInfo(info, n)
+			if pkgPath == "time" && wallClockFuncs[name] {
+				pos, desc, found = n.Pos(), "wall-clock time."+name, true
+				return false
+			}
+		}
+		return true
+	})
+	return pos, desc, found
+}

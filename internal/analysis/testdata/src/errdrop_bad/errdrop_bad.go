@@ -1,0 +1,19 @@
+// Package errdrop_bad is a fixture: fault-path code (in scope because
+// it imports the fault injector) that lets error results fall on the
+// floor as bare statement calls.
+package errdrop_bad
+
+import (
+	"stronghold/internal/fault"
+)
+
+// Apply validates and re-parses a plan, discarding every verdict.
+func Apply(p fault.Plan) {
+	p.Validate() // want "fault.Plan.Validate returns an error that is silently discarded"
+	reload(p)    // want "errdrop_bad.reload returns an error that is silently discarded"
+}
+
+// reload round-trips the plan through its canonical form.
+func reload(p fault.Plan) (*fault.Plan, error) {
+	return fault.ParsePlan(p.String())
+}

@@ -1,0 +1,38 @@
+// Package errdrop_clean is a fixture: every error on the fault path is
+// handled, returned, or explicitly discarded — and infallible writers
+// (fmt, strings.Builder) stay out of scope.
+package errdrop_clean
+
+import (
+	"fmt"
+	"strings"
+
+	"stronghold/internal/fault"
+)
+
+// Apply handles the verdict.
+func Apply(p fault.Plan) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("plan rejected: %w", err)
+	}
+	return nil
+}
+
+// Reload returns the error to the caller.
+func Reload(p fault.Plan) (*fault.Plan, error) {
+	return fault.ParsePlan(p.String())
+}
+
+// Discard makes the drop explicit and greppable.
+func Discard(p fault.Plan) {
+	_ = p.Validate()
+}
+
+// Describe uses the infallible print family and builder methods as
+// bare statements: excluded by contract.
+func Describe(p fault.Plan) string {
+	var b strings.Builder
+	b.WriteString(p.String())
+	fmt.Println(b.Len())
+	return b.String()
+}

@@ -1,0 +1,59 @@
+// Package maporder_clean is a fixture: the sanctioned patterns for
+// working with maps in simulation packages — sort the keys before
+// touching a sink, or keep the loop body free of order-sensitive
+// operations.
+package maporder_clean
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"stronghold/internal/sim"
+	"stronghold/internal/trace"
+)
+
+// EmitSorted collects the keys, sorts, then emits: the map range body
+// only appends to a slice, which is order-insensitive.
+func EmitSorted(tr *trace.Trace, spans map[int]trace.Span) {
+	keys := make([]int, 0, len(spans))
+	for k := range spans {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		tr.Add(spans[k])
+	}
+}
+
+// MaxDelay reduces over the map without any sink: pure computation is
+// commutative over iteration order.
+func MaxDelay(delays map[string]sim.Time) sim.Time {
+	var max sim.Time
+	for _, d := range delays {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Schedule mirrors the bad fixture's canonical type.
+type Schedule struct {
+	Windows map[int]string
+}
+
+// String sorts before rendering, making the canonical form a pure
+// function of the map's contents.
+func (s Schedule) String() string {
+	keys := make([]int, 0, len(s.Windows))
+	for k := range s.Windows {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%d:%s;", k, s.Windows[k])
+	}
+	return b.String()
+}

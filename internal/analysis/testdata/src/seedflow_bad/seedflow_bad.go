@@ -1,0 +1,34 @@
+// Package seedflow_bad is a fixture: a simulation-scoped package whose
+// randomness escapes seed discipline — cross-package draws from the
+// unseeded global stream, and generators whose seeds derive from the
+// wall clock (directly or laundered through a helper).
+package seedflow_bad
+
+import (
+	"math/rand"
+	"time"
+
+	"stronghold/internal/analysis/testdata/src/seedflow_helper"
+	"stronghold/internal/sim"
+)
+
+// Perturb draws from the global stream through a helper the
+// per-package simtime rule cannot see.
+func Perturb(eng *sim.Engine, n int) int {
+	return seedflow_helper.Roll(n) // want "seedflow_helper.Roll transitively draws from unseeded math/rand.Intn"
+}
+
+// PerturbIndirect is two hops from the stream.
+func PerturbIndirect(eng *sim.Engine, n int) int {
+	return seedflow_helper.Jitter(n) // want "seedflow_helper.Jitter transitively draws from unseeded math/rand.Intn"
+}
+
+// NewGen launders the wall clock through a "seeded" constructor.
+func NewGen() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "generator seed derives from wall-clock time.Now"
+}
+
+// NewGenLaundered hides the clock behind a helper call.
+func NewGenLaundered() *rand.Rand {
+	return rand.New(rand.NewSource(seedflow_helper.Clock())) // want `generator seed derives from wall-clock time.Now \(via seedflow_helper.Clock\)`
+}

@@ -1,0 +1,17 @@
+// Package seedflow_clean is a fixture: the sanctioned pattern — an
+// explicit seed, constructed once from program input, threaded through
+// every draw.
+package seedflow_clean
+
+import (
+	"math/rand"
+
+	"stronghold/internal/analysis/testdata/src/seedflow_helper"
+	"stronghold/internal/sim"
+)
+
+// Perturb threads an explicitly seeded generator into the helper.
+func Perturb(eng *sim.Engine, seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return seedflow_helper.SeededRoll(r, n)
+}

@@ -1,0 +1,23 @@
+// Package seedflow_helper is a fixture dependency that lives OUTSIDE
+// simulation scope: it wraps the unseeded global math/rand stream and
+// the wall clock, so scoped callers can only be caught
+// interprocedurally.
+package seedflow_helper
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Roll draws from the unseeded global stream.
+func Roll(n int) int { return rand.Intn(n) }
+
+// Jitter reaches the global stream one hop down.
+func Jitter(n int) int { return Roll(n) + 1 }
+
+// SeededRoll draws only from the generator the caller threads in.
+func SeededRoll(r *rand.Rand, n int) int { return r.Intn(n) }
+
+// Clock reads the wall clock — a laundered seed source when its result
+// feeds a generator constructor.
+func Clock() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,24 @@
+// Package unusedignore is a fixture for the suppression audit: one
+// marker that suppresses a real finding (used), one that shadows
+// nothing (stale), and one naming a rule outside the selected set
+// (skipped by the audit).
+package unusedignore
+
+import "stronghold/internal/fault"
+
+// Fine returns its error; the marker above the return suppresses
+// nothing and must be reported as stale.
+//
+//vet:ignore errdrop legacy justification that no longer applies
+func Fine(p fault.Plan) error { return p.Validate() }
+
+// Drop discards deliberately; the trailing marker is used.
+func Drop(p fault.Plan) {
+	p.Validate() //vet:ignore errdrop fixture: loss is the point here
+}
+
+// Other carries a marker for an unselected rule: a -rules subset run
+// must not call it stale.
+//
+//vet:ignore simtime not audited when only errdrop is selected
+func Other(p fault.Plan) error { return p.Validate() }

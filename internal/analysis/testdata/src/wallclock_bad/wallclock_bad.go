@@ -1,0 +1,21 @@
+// Package wallclock_bad is a fixture: a simulation-scoped package that
+// reaches the wall clock only through helpers in a package outside
+// simulation scope — the cross-package hole the per-package simtime
+// rule cannot see. Each finding lands on the frontier call site where
+// the taint enters simulation scope.
+package wallclock_bad
+
+import (
+	"stronghold/internal/analysis/testdata/src/wallclock_helper"
+	"stronghold/internal/sim"
+)
+
+// Deadline derives a simulation deadline from real time, one hop away.
+func Deadline(eng *sim.Engine) sim.Time {
+	return eng.Now() + wallclock_helper.Stamp() // want "wallclock_helper.Stamp transitively reads wall-clock time.Now"
+}
+
+// DeadlineIndirect reaches the same clock two hops away.
+func DeadlineIndirect(eng *sim.Engine) sim.Time {
+	return eng.Now() + wallclock_helper.Indirect() // want "wallclock_helper.Indirect transitively reads wall-clock time.Now"
+}

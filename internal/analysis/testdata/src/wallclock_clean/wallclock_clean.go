@@ -1,0 +1,14 @@
+// Package wallclock_clean is a fixture: simulation-scoped code that
+// takes its time from the virtual clock and calls only clock-free
+// helpers outside simulation scope.
+package wallclock_clean
+
+import (
+	"stronghold/internal/analysis/testdata/src/wallclock_helper"
+	"stronghold/internal/sim"
+)
+
+// Elapsed uses the virtual clock and a pure helper only.
+func Elapsed(eng *sim.Engine, start sim.Time) int64 {
+	return wallclock_helper.Pure(eng.Now() - start)
+}

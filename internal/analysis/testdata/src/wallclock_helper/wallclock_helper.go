@@ -1,0 +1,17 @@
+// Package wallclock_helper is a fixture dependency that lives OUTSIDE
+// simulation scope: it neither sits under internal/sim nor imports it,
+// so the per-package simtime rule never visits it. Its wall-clock
+// reads are only catchable interprocedurally.
+package wallclock_helper
+
+import "time"
+
+// Stamp reads the wall clock directly.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Indirect reaches the clock one hop down.
+func Indirect() int64 { return Stamp() + 1 }
+
+// Pure is a clock-free helper: calling it from simulation scope is
+// fine.
+func Pure(x int64) int64 { return x * 2 }

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// WallClock is the interprocedural generalization of simtime: a
+// simulation-scoped function must not reach wall-clock time through
+// ANY chain of static calls, even when the time.Now sits in a helper
+// package three hops away that simtime's per-package scope never
+// visits. Reports land on the frontier — the call site where the
+// taint enters simulation scope from a non-simulation callee — with
+// the full call chain attached; direct uses inside simulation
+// packages remain simtime's findings, so each hazard is reported
+// exactly once, at its most actionable position.
+var WallClock = &Analyzer{
+	Name:      "wallclock",
+	Doc:       "forbid transitive wall-clock reachability from simulation entry points",
+	RunModule: runWallClock,
+}
+
+func runWallClock(pass *ModulePass) {
+	reportFrontier(pass, reachWallClock, scanWallClock,
+		"%s transitively reads %s: simulation time must come from the virtual clock (sim.Engine.Now)")
+}
+
+// reportFrontier reports every call edge from a simulation-scoped
+// function into a non-simulation-scoped callee that reaches an
+// operation found by scan. format receives (callee display, source
+// desc).
+func reportFrontier(pass *ModulePass, closure string, scan func(info *types.Info, root ast.Node, report siteFn), format string) {
+	g := pass.Graph()
+	reach := reachClosure(pass.Module, closure, scan)
+	for _, node := range g.Sorted {
+		if !isSimulationScoped(node.Pkg.Path, node.Pkg.Types) {
+			continue
+		}
+		for _, e := range node.Out {
+			callee := e.Callee
+			if isSimulationScoped(callee.Pkg.Path, callee.Pkg.Types) {
+				// The callee is itself in scope: the hazard is reported
+				// at ITS frontier edge (or by simtime at the source).
+				continue
+			}
+			w, ok := reach[callee.Func]
+			if !ok {
+				continue
+			}
+			related := append([]Related{}, g.Chain(callee.Func, reach)...)
+			pass.Report(Diagnostic{
+				Pos:     pass.Fset.Position(e.Pos),
+				Message: fmt.Sprintf(format, FuncDisplay(callee.Func), w.Desc),
+				Related: related,
+			})
+		}
+	}
+}

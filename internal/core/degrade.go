@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"stronghold/internal/fault"
 	"stronghold/internal/modelcfg"
@@ -279,17 +280,32 @@ func emitFaultWindows(tr *trace.Trace, inj *fault.Injector, horizon sim.Time) {
 // destroys the window pool, so arena accounting balances (alloc ==
 // free) run after run — including runs with retried copies and resized
 // windows. It runs after result assembly and touches no engine state.
+// Releases walk the layers in sorted order: releaseLayer drives
+// allocator traffic whose op counters land in the iteration result, so
+// map iteration order here would leak into the byte-compared output.
 func (r *iterRun) teardown() {
 	switch {
 	case r.pool != nil:
-		for layer := range r.layerBuf {
+		for _, layer := range sortedLayers(r.layerBuf) {
 			r.releaseLayer(layer)
 		}
 		r.pool.Destroy()
 	case r.cache != nil:
-		for layer := range r.layerCache {
+		for _, layer := range sortedLayers(r.layerCache) {
 			r.releaseLayer(layer)
 		}
 		r.cache.ReleaseAll()
 	}
+}
+
+// sortedLayers returns the keys of a layer-indexed map in ascending
+// order. r.residentReady needs no equivalent: it is only ever accessed
+// by key (see acquireLayer), never ranged.
+func sortedLayers[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }
