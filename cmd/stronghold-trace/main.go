@@ -7,6 +7,12 @@
 // Usage:
 //
 //	stronghold-trace -l 50 -hs 2560 -b 4 -o trace.json
+//
+// With -plan the command prints the validated schedule IR for one
+// iteration instead of simulating: deterministic text by default, JSON
+// with -plan-json, or a line diff against the plan for another window
+// size with -plan-diff (how a mid-run adaptive re-solve changes the
+// schedule).
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"stronghold/internal/hw"
 	"stronghold/internal/modelcfg"
 	"stronghold/internal/perf"
+	"stronghold/internal/plan"
 	"stronghold/internal/sim"
 	"stronghold/internal/trace"
 )
@@ -28,6 +35,9 @@ func main() {
 	batch := flag.Int("b", 4, "batch size")
 	window := flag.Int("w", 0, "window size (0 = analytic)")
 	out := flag.String("o", "trace.json", "output path for Chrome trace JSON")
+	planMode := flag.Bool("plan", false, "print the iteration's schedule plan instead of simulating")
+	planJSON := flag.Bool("plan-json", false, "with -plan: emit indented JSON instead of text")
+	planDiff := flag.Int("plan-diff", 0, "with -plan: diff against the plan for this window size")
 	flag.Parse()
 
 	cfg := modelcfg.NewConfig(*layers, *hidden, 16)
@@ -35,6 +45,11 @@ func main() {
 	m := perf.NewModel(cfg, hw.V100Platform())
 	e := core.NewEngine(m)
 	e.Window = *window
+
+	if *planMode {
+		printPlan(e, *window, *planDiff, *planJSON)
+		return
+	}
 
 	d, err := e.SolvedWindow()
 	if err != nil {
@@ -73,6 +88,38 @@ func main() {
 		fatalf("write %s: %v", *out, err)
 	}
 	fmt.Printf("trace written to %s (%d events)\n", *out, tr.Len())
+}
+
+// printPlan renders the engine's validated plan for the configured
+// window: as text, as JSON, or as a diff against the plan for window
+// other.
+func printPlan(e *core.Engine, window, other int, asJSON bool) {
+	it, err := e.BuildPlan(window)
+	if err != nil {
+		fatalf("plan: %v", err)
+	}
+	if other > 0 {
+		to, err := e.BuildPlan(other)
+		if err != nil {
+			fatalf("plan (m=%d): %v", other, err)
+		}
+		d := plan.DiffText(it, to)
+		if d == "" {
+			fmt.Printf("plans for m=%d and m=%d are identical\n", it.Window, to.Window)
+			return
+		}
+		fmt.Printf("plan diff m=%d -> m=%d:\n%s", it.Window, to.Window, d)
+		return
+	}
+	if asJSON {
+		js, err := plan.JSON(it)
+		if err != nil {
+			fatalf("plan export: %v", err)
+		}
+		fmt.Printf("%s\n", js)
+		return
+	}
+	fmt.Print(plan.Text(it))
 }
 
 func fatalf(format string, args ...any) {

@@ -2,11 +2,15 @@
 // paper evaluates against (§V-C): Megatron-LM (resident GPU training),
 // L2L (synchronous one-layer offloading), ZeRO-Offload (static
 // CPU-optimizer offloading), and ZeRO-Infinity (partitioned states on
-// CPU RAM or NVMe). Each baseline's iteration time is a closed-form
-// schedule built from the same perf.Model kernel/transfer costs the
-// STRONGHOLD engine uses, plus per-method software-stack constants
-// calibrated in calib.go — the comparisons differ in *scheduling and
-// stack overheads*, never in kernel speed.
+// CPU RAM or NVMe). Every baseline is costed from the same perf.Model
+// kernel/transfer numbers the STRONGHOLD engine uses, plus per-method
+// software-stack constants calibrated in calib.go — the comparisons
+// differ in *scheduling and stack overheads*, never in kernel speed.
+// L2L and ZeRO-Offload run as planner-emitted plans (planner.go) on the
+// shared plan executor over explicit-duration resources (planrun.go),
+// so they produce real traces, overlap fractions and degrade under
+// fault plans; Megatron and ZeRO-Infinity remain closed-form schedules,
+// retained below also as cross-checks for the plan-driven methods.
 package baselines
 
 import (
@@ -22,6 +26,14 @@ import (
 // Megatron, L2L, ZeROOffload, ZeROInfinity, ZeROInfinityNVMe. (ZeRO-2/3
 // are distributed-only; see the cluster package.)
 func Run(method modelcfg.Method, m perf.Model) perf.IterationResult {
+	return RunWith(method, m, Options{})
+}
+
+// RunWith is Run with tracing and fault injection. L2L and ZeRO-Offload
+// run as planner-emitted plans on the shared executor (event-driven,
+// with real traces and overlap); Megatron and ZeRO-Infinity remain
+// closed-form schedules, for which Options is inert.
+func RunWith(method modelcfg.Method, m perf.Model, opts Options) perf.IterationResult {
 	res := perf.IterationResult{Method: method}
 	if err := m.Cfg.Validate(); err != nil {
 		res.OOM, res.OOMDetail = true, err.Error()
@@ -42,9 +54,9 @@ func Run(method modelcfg.Method, m perf.Model) perf.IterationResult {
 	case modelcfg.Megatron:
 		res.IterTime = megatronIter(m)
 	case modelcfg.L2L:
-		res.IterTime = l2lIter(m, pressure)
+		runPlanned(l2lPlan(m, pressure), opts, &res)
 	case modelcfg.ZeROOffload:
-		res.IterTime = zeroOffloadIter(m, pressure)
+		runPlanned(zeroOffloadPlan(m, pressure), opts, &res)
 	case modelcfg.ZeROInfinity:
 		res.IterTime = zeroInfinityIter(m, pressure, false)
 	case modelcfg.ZeROInfinityNVMe:
@@ -73,11 +85,14 @@ func megatronIter(m perf.Model) sim.Time {
 	return computeTotal(m) + n*lt.OptGPU + gpuOptEmbed
 }
 
-// l2lIter: one Transformer block resident at a time, parameters moved
-// *synchronously* before each layer in both directions ("it simply
-// serializes computation with data transfer for each DNN layer",
-// §VI-B), with the per-visit software overhead of its Python movement
-// loop; the optimizer runs on the GPU over the full moment buffers.
+// l2lIter is the closed-form cross-check for l2lPlan: one Transformer
+// block resident at a time, parameters moved before each layer in both
+// directions ("it simply serializes computation with data transfer for
+// each DNN layer", §VI-B), with the per-visit software overhead of its
+// Python movement loop; the optimizer runs on the GPU over the full
+// moment buffers. It prices the gradient copy-back fully serial, so it
+// upper-bounds the plan-driven time, which hides that copy under the
+// next visit's overhead (see planrun_test.go for the two-sided bound).
 func l2lIter(m perf.Model, pressure float64) sim.Time {
 	lt := m.Layer()
 	n := sim.Time(m.Cfg.Layers)
@@ -89,7 +104,8 @@ func l2lIter(m perf.Model, pressure float64) sim.Time {
 	return n*(perFP+perBP) + 3*m.EmbeddingTime() + n*lt.OptGPU
 }
 
-// zeroOffloadIter: parameters stay on the GPU; gradients stream to the
+// zeroOffloadIter is the closed-form cross-check for zeroOffloadPlan:
+// parameters stay on the GPU; gradients stream to the
 // CPU during BP (mostly overlapped), the single fused CPU optimizer
 // updates all parameters, and updated parameters upload back — the two
 // serial phases that cap its efficiency (§VI-B: "a large portion of the

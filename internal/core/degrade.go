@@ -2,10 +2,11 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"stronghold/internal/fault"
+	"stronghold/internal/maputil"
 	"stronghold/internal/modelcfg"
+	"stronghold/internal/plan"
 	"stronghold/internal/sim"
 	"stronghold/internal/trace"
 )
@@ -231,29 +232,26 @@ func (r *iterRun) adaptWindow() {
 	r.resize(target)
 }
 
-// resize moves the working window to newM at an iteration boundary.
-// Growing prefetches the newly resident layers (their buffers are
-// claimed at issue, like any prefetch); shrinking offloads the evicted
-// layers — whose parameters were just updated on-GPU — back to the
-// host, releasing their buffers and routing the next forward prefetch
+// resize moves the working window to newM at an iteration boundary by
+// applying the plan patch between the two window schedules. Growing
+// prefetches the newly resident layers (their buffers are claimed at
+// issue, like any prefetch); shrinking offloads the evicted layers —
+// whose parameters were just updated on-GPU — back to the host,
+// releasing their buffers and routing the next forward prefetch
 // through the offload's completion signal.
 func (r *iterRun) resize(newM int) {
-	cfg := r.e.Model.Cfg
-	if newM > r.window {
-		for j := r.window; j < newM && j < r.n; j++ {
-			deps := []*sim.Signal{r.optDone[j]}
-			if r.e.Feat.UseNVMe {
-				deps = append(deps, r.nvmeStaged[j])
-			}
-			r.residentReady[j] = r.prefetch(deps, r.faultTr, fmt.Sprintf("grow prefetch L%d", j), j)
-		}
-	} else {
-		for j := newM; j < r.window && j < r.n; j++ {
-			r.optDone[j] = r.offload(nil, r.faultTr, fmt.Sprintf("shrink offload L%d", j), j,
-				r.scaleBytes(j, cfg.LayerWeightBytes()))
-			delete(r.residentReady, j)
-		}
+	from, to := r.planFor(r.window), r.planFor(newM)
+	if from == nil || to == nil {
+		return // schedErr recorded by planFor
 	}
+	patch, err := plan.Diff(from, to)
+	if err != nil {
+		if r.schedErr == nil {
+			r.schedErr = err
+		}
+		return
+	}
+	patch.Apply(&schedEnv{r: r, tr: r.faultTr})
 	r.window = newM
 }
 
@@ -286,26 +284,14 @@ func emitFaultWindows(tr *trace.Trace, inj *fault.Injector, horizon sim.Time) {
 func (r *iterRun) teardown() {
 	switch {
 	case r.pool != nil:
-		for _, layer := range sortedLayers(r.layerBuf) {
+		for _, layer := range maputil.SortedKeys(r.layerBuf) {
 			r.releaseLayer(layer)
 		}
 		r.pool.Destroy()
 	case r.cache != nil:
-		for _, layer := range sortedLayers(r.layerCache) {
+		for _, layer := range maputil.SortedKeys(r.layerCache) {
 			r.releaseLayer(layer)
 		}
 		r.cache.ReleaseAll()
 	}
-}
-
-// sortedLayers returns the keys of a layer-indexed map in ascending
-// order. r.residentReady needs no equivalent: it is only ever accessed
-// by key (see acquireLayer), never ranged.
-func sortedLayers[V any](m map[int]V) []int {
-	keys := make([]int, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
-	return keys
 }

@@ -8,6 +8,7 @@ import (
 	"stronghold/internal/mem"
 	"stronghold/internal/modelcfg"
 	"stronghold/internal/perf"
+	"stronghold/internal/plan"
 	"stronghold/internal/sim"
 	"stronghold/internal/trace"
 )
@@ -75,6 +76,14 @@ type Engine struct {
 	Faults *fault.Plan
 	// Adapt tunes degraded-mode behavior; zero value = defaults.
 	Adapt AdaptConfig
+
+	// planOverride substitutes a hand-built schedule for the planner's
+	// output — the test hook for exercising the validator's pre-sim
+	// diagnostics and the executor's structured invariant errors.
+	planOverride *plan.Iteration
+	// planSkipValidate bypasses pre-sim validation, letting tests drive
+	// a broken plan into the executor's runtime error path.
+	planSkipValidate bool
 }
 
 // NewEngine builds a STRONGHOLD engine with default features.
@@ -142,6 +151,82 @@ func (e *Engine) availableWindowBytes() int64 {
 	fp := modelcfg.Footprint(e.method(), e.Model.Cfg, 0, 1)
 	nonWindow := fp.GPU // window term is ~1 layer at windowLayers=0
 	return e.Model.Plat.GPU.MemBytes - nonWindow
+}
+
+// BuildPlan runs the planner for one iteration's schedule at the given
+// window (0 = solve analytically, as Run does) without simulating
+// anything — the reviewable artifact cmd/stronghold-trace -plan prints
+// and diffs.
+func (e *Engine) BuildPlan(window int) (*plan.Iteration, error) {
+	if err := e.Model.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if window == 0 {
+		d, err := e.SolvedWindow()
+		if err != nil {
+			return nil, err
+		}
+		window = d.M
+	}
+	if e.LayerScale != nil && len(e.LayerScale) != e.Model.Cfg.Layers {
+		return nil, fmt.Errorf("core: LayerScale has %d entries for %d layers", len(e.LayerScale), e.Model.Cfg.Layers)
+	}
+	return plan.Build(e.planSpec(window, e.PickStreams(window)))
+}
+
+// utilFor is the per-worker kernel utilization at the given stream
+// count: concurrent streams contend for the SM scheduler and memory
+// ports, so their aggregate utilization saturates at MultiStreamCap.
+func (e *Engine) utilFor(streams int) float64 {
+	perStream := e.Model
+	perStream.Cfg.BatchSize = e.Model.Cfg.BatchSize / streams
+	util := perStream.EffectiveUtilization()
+	if agg := float64(streams) * util; streams > 1 && agg > modelcfg.MultiStreamCap {
+		util = modelcfg.MultiStreamCap / float64(streams)
+	}
+	return util
+}
+
+// planSpec lowers the engine's model, features and window decision into
+// the planner input for one iteration's schedule.
+func (e *Engine) planSpec(window, streams int) plan.Spec {
+	cfg := e.Model.Cfg
+	plat := e.Model.Plat
+	util := e.utilFor(streams)
+	perStream := cfg
+	perStream.BatchSize = cfg.BatchSize / streams
+	maxScale := 1.0
+	for _, sc := range e.LayerScale {
+		if sc > maxScale {
+			maxScale = sc
+		}
+	}
+	perTensor := int64(float64(cfg.LayerWeightBytes()+cfg.LayerGradBytes()+cfg.ActivationBytesPerLayer())*maxScale)/tensorsPerLayer + 1
+	s := plan.Spec{
+		Layers:          cfg.Layers,
+		Window:          window,
+		Queues:          streams,
+		NVMe:            e.Feat.UseNVMe,
+		Sync:            !e.Feat.UserLevelMemMgmt, // pageable path serializes with compute
+		SingleOpt:       !e.Feat.ConcurrentOptimizers,
+		BufBytes:        perTensor * tensorsPerLayer,
+		WeightBytes:     cfg.LayerWeightBytes(),
+		CheckpointBytes: cfg.ActivationBytesPerLayer(),
+		StateBytes:      cfg.LayerWeightBytes() + cfg.LayerGradBytes(),
+		FwdFlops:        perStream.ForwardFlopsPerLayer(),
+		BwdFlops:        perStream.BackwardFlopsPerLayer(e.Model.Checkpointing),
+		EmbedFlops:      perStream.EmbeddingFlops(),
+		OptDurNS:        e.cpuOptDuration(),
+		LayerScale:      e.LayerScale,
+	}
+	if streams > 1 {
+		// Gradient all-reduce across multi-stream workers happens on-GPU
+		// over HBM before each layer's gradient offload (§IV-A).
+		bytes := float64(cfg.LayerGradBytes()) * 2 * float64(streams-1) / float64(streams)
+		s.GradSyncFlops = bytes / plat.GPU.MemBandwidth * util * plat.GPU.PeakFlops
+	}
+	s.ResidentOptFlops = float64(window)*e.gpuOptFlops(util) + e.gpuEmbedOptFlops(util)
+	return s
 }
 
 // Run simulates iters training iterations and returns the steady-state
@@ -215,6 +300,18 @@ func (e *Engine) runSim(iters int, tr *trace.Trace) (perf.IterationResult, *iter
 		bufWindow = e.maxFeasibleWindow(window, streams)
 	}
 	run := newIterRun(e, machine, window, bufWindow, streams)
+	// Plan the initial window and validate it before simulating: a
+	// schedule that could violate the buffer invariants is rejected here
+	// as a diagnostic, not discovered mid-simulation.
+	if run.planFor(window) == nil || run.schedErr != nil {
+		res.OOM = true
+		if run.schedErr != nil {
+			res.OOMDetail = run.schedErr.Error()
+		}
+		run.teardown()
+		return res, run
+	}
+	res.PlanOps = uint64(len(run.plans[window].Ops))
 	var ends []*sim.Signal
 	if faulted {
 		run.enableFaults(inj, e.Adapt.withDefaults(), tr,
@@ -250,6 +347,13 @@ func (e *Engine) runSim(iters int, tr *trace.Trace) (perf.IterationResult, *iter
 	res.DeadlineMisses = run.deadlineMisses
 	res.WindowResolves = run.resolves
 	res.FinalWindow = run.window
+	if run.schedErr != nil {
+		// A runtime buffer-invariant violation (only reachable with
+		// validation bypassed) surfaces as a structured error, not a
+		// panic.
+		res.OOM = true
+		res.OOMDetail = run.schedErr.Error()
+	}
 	if faulted && tr != nil {
 		emitFaultWindows(tr, inj, eng.Now())
 	}
@@ -282,6 +386,18 @@ type iterRun struct {
 	// ZeRO-Offload).
 	singleOpt *sim.Resource
 	iter      int
+
+	// bufWindow sizes the reserved pool (and the plans' slot budget);
+	// it exceeds window only in degraded mode.
+	bufWindow int
+	// plans caches one validated schedule per window size; the adaptive
+	// path re-plans only at unseen window sizes and patches between
+	// them. Never ranged — lookups only — so map order cannot leak.
+	plans map[int]*plan.Iteration
+	// schedErr records the first scheduling-invariant violation (plan
+	// validation failure, or pool exhaustion with validation bypassed);
+	// runSim surfaces it through IterationResult.OOMDetail.
+	schedErr error
 
 	// Buffer management (§III-E3): the user-level round-robin pool
 	// (one-off (m+1)·k raw allocations) or the framework caching
@@ -317,19 +433,15 @@ func newIterRun(e *Engine, machine *hw.Machine, window, bufWindow, streams int) 
 	cfg := e.Model.Cfg
 	perStream := e.Model
 	perStream.Cfg.BatchSize = cfg.BatchSize / streams
-	util := perStream.EffectiveUtilization()
-	// Concurrent streams contend for the SM scheduler and memory
-	// ports: their aggregate utilization saturates at MultiStreamCap.
-	if agg := float64(streams) * util; streams > 1 && agg > modelcfg.MultiStreamCap {
-		util = modelcfg.MultiStreamCap / float64(streams)
-	}
 	r := &iterRun{
-		e:       e,
-		machine: machine,
-		window:  window,
-		lt:      perStream.Layer(),
-		util:    util,
-		n:       cfg.Layers,
+		e:         e,
+		machine:   machine,
+		window:    window,
+		bufWindow: bufWindow,
+		lt:        perStream.Layer(),
+		util:      e.utilFor(streams),
+		n:         cfg.Layers,
+		plans:     make(map[int]*plan.Iteration),
 	}
 	for s := 0; s < streams; s++ {
 		r.streams = append(r.streams, machine.NewStream(fmt.Sprintf("worker%d", s)))
@@ -367,38 +479,70 @@ func newIterRun(e *Engine, machine *hw.Machine, window, bufWindow, streams int) 
 	// The first window's layers are resident before training starts
 	// (§III-E1), holding their buffers.
 	for i := 0; i < window && i < r.n; i++ {
-		r.acquireLayer(i)
+		if err := r.acquireLayer(i); err != nil && r.schedErr == nil {
+			r.schedErr = err
+		}
 	}
 	return r
 }
 
-// transfer parameters honoring the §III-E3 feature: pinned+async when
-// on; pageable with allocation overhead when off.
-func (r *iterRun) prefetch(deps []*sim.Signal, tr *trace.Trace, name string, layer int) *sim.Signal {
-	return r.copyOp(deps, tr, name, layer, true, r.scaleBytes(layer, r.e.Model.Cfg.LayerWeightBytes()))
-}
-
-func (r *iterRun) offload(deps []*sim.Signal, tr *trace.Trace, name string, layer int, bytes int64) *sim.Signal {
-	return r.copyOp(deps, tr, name, layer, false, bytes)
+// planFor returns the cached, validated schedule for a window size,
+// planning it on first use. A validation failure (possible only for
+// hand-built plans injected through the test hooks) records schedErr;
+// planner-built plans validate by construction.
+func (r *iterRun) planFor(window int) *plan.Iteration {
+	if p, ok := r.plans[window]; ok {
+		return p
+	}
+	p := r.e.planOverride
+	if p == nil {
+		spec := r.e.planSpec(window, len(r.streams))
+		spec.BudgetSlots = r.bufWindow + 1
+		var err error
+		if p, err = plan.Build(spec); err != nil {
+			if r.schedErr == nil {
+				r.schedErr = err
+			}
+			return nil
+		}
+	}
+	if !r.e.planSkipValidate {
+		if err := plan.Validate(p); err != nil {
+			if r.schedErr == nil {
+				r.schedErr = err
+			}
+			return nil
+		}
+	}
+	r.plans[window] = p
+	return p
 }
 
 // acquireLayer claims device buffers for a layer entering the window.
 // In user-level mode exhaustion is a scheduling-invariant violation
-// (the buffer-recycling dependencies exist precisely to prevent it);
-// in caching mode an exhausted arena triggers a cache flush — the
-// §III-E3 thrash — before retrying.
-func (r *iterRun) acquireLayer(layer int) {
+// (the buffer-recycling dependencies exist precisely to prevent it,
+// and plan.Validate proves planner-built schedules cannot hit it); it
+// is reported as a structured error, not a crash. In caching mode an
+// exhausted arena triggers a cache flush — the §III-E3 thrash — before
+// retrying.
+func (r *iterRun) acquireLayer(layer int) error {
 	switch {
 	case r.pool != nil:
 		idxs := make([]int, 0, tensorsPerLayer)
 		for t := 0; t < tensorsPerLayer; t++ {
 			idx, err := r.pool.Acquire()
 			if err != nil {
-				panic(fmt.Sprintf("core: window buffer invariant violated at layer %d: %v", layer, err))
+				for _, held := range idxs {
+					r.pool.Release(held)
+				}
+				return fmt.Errorf("core: window buffer invariant violated at layer %d: %w", layer, err)
 			}
 			idxs = append(idxs, idx)
 		}
-		r.layerBuf[layer] = idxs
+		// Append rather than assign: on a validated plan the layer holds
+		// nothing here, but a validation-bypassed double acquire must not
+		// orphan in-use buffers or teardown's accounting breaks.
+		r.layerBuf[layer] = append(r.layerBuf[layer], idxs...)
 	case r.cache != nil:
 		perTensor := (r.e.Model.Cfg.LayerWeightBytes()+r.e.Model.Cfg.LayerGradBytes()+r.e.Model.Cfg.ActivationBytesPerLayer())/tensorsPerLayer + 1
 		var blocks []*mem.Block
@@ -413,8 +557,9 @@ func (r *iterRun) acquireLayer(layer int) {
 			}
 			blocks = append(blocks, b)
 		}
-		r.layerCache[layer] = blocks
+		r.layerCache[layer] = append(r.layerCache[layer], blocks...)
 	}
+	return nil
 }
 
 // releaseLayer returns a layer's buffers as it leaves the window.
@@ -460,14 +605,8 @@ func (r *iterRun) copyOp(deps []*sim.Signal, tr *trace.Trace, name string, layer
 	dur := r.machine.Spec.AsyncCallNS + extra + r.copyDur(bytes, pinned)
 	sig = sim.NewSignal(eng)
 	sim.WaitAll(eng, deps, func() {
-		if h2d {
-			r.acquireLayer(layer) // buffer claimed at prefetch issue
-		}
 		if r.inj == nil {
 			res.Submit(dur, func(start, end sim.Time) {
-				if !h2d {
-					r.releaseLayer(layer) // buffer recycled at offload end
-				}
 				done(start, end)
 				sig.Fire()
 			})
@@ -481,9 +620,6 @@ func (r *iterRun) copyOp(deps []*sim.Signal, tr *trace.Trace, name string, layer
 			tg = fault.H2D
 		}
 		r.submitWithRetry(res, tg, dur, func(start, end, delayed sim.Time) {
-			if !h2d {
-				r.releaseLayer(layer)
-			}
 			r.observeCopy(name, dur, start, end, delayed)
 			done(start, end)
 			sig.Fire()
@@ -501,15 +637,15 @@ func (r *iterRun) copyDur(bytes int64, pinned bool) sim.Time {
 }
 
 // cpuOptDuration is one layer's CPU Adam time for the configured pool.
-func (r *iterRun) cpuOptDuration() sim.Time {
-	spec := r.machine.Spec.CPU
-	workers := r.e.optWorkers()
+func (e *Engine) cpuOptDuration() sim.Time {
+	spec := e.Model.Plat.CPU
+	workers := e.optWorkers()
 	perWorkerBW := spec.MemBandwidth / float64(workers)
 	if perCore := perWorkerCap(spec); perWorkerBW > perCore {
 		perWorkerBW = perCore
 	}
 	const bytesPerParam = 28
-	return sim.Time(float64(r.e.Model.Cfg.LayerParamsShard()*bytesPerParam) / perWorkerBW * 1e9)
+	return sim.Time(float64(e.Model.Cfg.LayerParamsShard()*bytesPerParam) / perWorkerBW * 1e9)
 }
 
 // perWorkerCap is the DRAM bandwidth a single optimizer thread can
@@ -520,279 +656,163 @@ func perWorkerCap(spec hw.CPUSpec) float64 {
 	return spec.MemBandwidth / 32
 }
 
-// actCheckpointBytes is the per-layer boundary activation that travels
-// with the layer state: checkpoints are offloaded behind the forward
-// window and restored ahead of the backward window, so arbitrarily deep
-// models never accumulate checkpoints in device memory.
-func (r *iterRun) actCheckpointBytes() int64 {
-	return r.e.Model.Cfg.ActivationBytesPerLayer()
-}
-
-// layerScale returns layer i's heterogeneity multiplier (1 for uniform
-// models).
-func (r *iterRun) layerScale(i int) float64 {
-	if r.e.LayerScale == nil || i < 0 || i >= len(r.e.LayerScale) {
-		return 1
-	}
-	return r.e.LayerScale[i]
-}
-
-// maxLayerScale is the conservative buffer-sizing factor.
-func (r *iterRun) maxLayerScale() float64 {
-	m := 1.0
-	for _, s := range r.e.LayerScale {
-		if s > m {
-			m = s
-		}
-	}
-	return m
-}
-
-// scaleBytes applies layer i's multiplier to a transfer size.
-func (r *iterRun) scaleBytes(i int, bytes int64) int64 {
-	return int64(float64(bytes) * r.layerScale(i))
-}
-
-// iteration schedules one full training iteration and returns the
-// signal marking its completion (all GPU work done).
+// iteration schedules one full training iteration by walking its plan
+// through the simulation environment, and returns the signal marking
+// its completion (all GPU work done). The plan's canonical op order is
+// the exact issue order the hand-wired scheduler used, so traces stay
+// byte-identical across the planner/executor split.
 func (r *iterRun) iteration(tr *trace.Trace) *sim.Signal {
 	r.iter++
-	n, m := r.n, r.window
 	eng := r.machine.Eng
-	k := len(r.streams)
-	cfg := r.e.Model.Cfg
-	sync := !r.e.Feat.UserLevelMemMgmt // pageable path serializes with compute
-
-	kernel := func(s *hw.Stream, flops float64, deps []*sim.Signal, name string, layer int, kind trace.Kind) *sim.Signal {
-		return s.Launch(flops, r.util, deps, func(start, end sim.Time) {
-			if tr != nil {
-				tr.Add(trace.Span{Track: s.Name(), Name: name, Kind: kind, Layer: layer, Start: start, End: end})
-			}
-		})
+	p := r.planFor(r.window)
+	if p == nil {
+		return sim.FiredSignal(eng) // schedErr recorded; nothing to schedule
 	}
-
-	fwdFlops := r.perStreamForwardFlops()
-	bwdFlops := r.perStreamBackwardFlops()
-	embedFlops := r.perStreamEmbedFlops()
-
-	// ---- Forward pass -------------------------------------------------
-	// Window invariant: at FP start the window holds layers 0..m−1
-	// (left there by the previous BP, §III-E1) plus one spare buffer
-	// (constraint 1c). FP offloads every layer except the last m, so at
-	// FP end the window holds layers n−m..n−1 ready for BP.
-	embedDone := make([]*sim.Signal, k)
-	for s := range r.streams {
-		embedDone[s] = kernel(r.streams[s], embedFlops, nil, "fp embed", -1, trace.KindCompute)
+	sigs := plan.Execute(p, &schedEnv{r: r, tr: tr})
+	// Resident head-of-model layers update on the GPU ("gpu adam
+	// resident", the plan's final op); their optDone just re-arms.
+	for i := 0; i < r.window && i < r.n; i++ {
+		r.optDone[i] = sim.FiredSignal(eng)
 	}
-
-	prefetchDone := make([]*sim.Signal, n)
-	fpOffloadDone := make([]*sim.Signal, n)
-	fpDone := make([]*sim.Signal, n) // all streams finished fp(i)
-	for i := 0; i < m && i < n; i++ {
-		if sig := r.residentReady[i]; sig != nil {
-			prefetchDone[i] = sig // grown mid-run; prefetch may be in flight
-		} else {
-			prefetchDone[i] = sim.FiredSignal(eng) // resident from last BP
-		}
-	}
-
-	for i := 0; i < n; i++ {
-		// pre_forward(i): issue the asynchronous load of the layer just
-		// outside the window (Fig. 3b ①).
-		if j := i + m; j < n {
-			deps := []*sim.Signal{r.optDone[j]}
-			if r.e.Feat.UseNVMe {
-				deps = append(deps, r.nvmeStaged[j])
-			}
-			// Buffer recycling (§III-E3): prefetch j reuses the buffer
-			// freed by layer j−m−1's post-forward offload; the first
-			// prefetch takes the spare buffer.
-			if j > m {
-				deps = append(deps, fpOffloadDone[j-m-1])
-			}
-			prefetchDone[j] = r.prefetch(deps, tr, fmt.Sprintf("prefetch L%d", j), j)
-		}
-		var streamDone []*sim.Signal
-		for s := range r.streams {
-			deps := []*sim.Signal{prefetchDone[i]}
-			if i == 0 {
-				deps = append(deps, embedDone[s])
-			}
-			if sync && i > 0 && fpOffloadDone[i-1] != nil {
-				deps = append(deps, fpOffloadDone[i-1]) // allocator sync
-			}
-			streamDone = append(streamDone, kernel(r.streams[s], fwdFlops*r.layerScale(i), deps, fmt.Sprintf("fp L%d", i), i, trace.KindCompute))
-		}
-		allDone := joinSignals(eng, streamDone)
-		fpDone[i] = allDone
-		if i < n-m {
-			// post_forward(i): move the computed layer's parameters
-			// (and its activation checkpoint) back to the CPU
-			// (Fig. 3b ③); the last m layers stay.
-			fpOffloadDone[i] = r.offload([]*sim.Signal{allDone}, tr,
-				fmt.Sprintf("fp offload L%d", i), i,
-				r.scaleBytes(i, cfg.LayerWeightBytes()+r.actCheckpointBytes()))
-		}
-	}
-
-	// Head + loss on the resident tail.
-	headDone := make([]*sim.Signal, k)
-	for s := range r.streams {
-		headDone[s] = kernel(r.streams[s], embedFlops, []*sim.Signal{fpDone[n-1]}, "fp head+loss", -1, trace.KindCompute)
-	}
-
-	// ---- Backward pass ------------------------------------------------
-	// Window invariant: BP starts with layers n−m..n−1 resident,
-	// prefetches every layer below n−m, and offloads every layer except
-	// the first m — restoring the FP-start invariant.
-	bpPrefetchDone := make([]*sim.Signal, n)
-	bpOffloadDone := make([]*sim.Signal, n)
-	bpDone := make([]*sim.Signal, n)
-	for i := n - m; i < n; i++ {
-		if i >= 0 {
-			bpPrefetchDone[i] = sim.FiredSignal(eng)
-		}
-	}
-
-	// Gradient all-reduce across multi-stream workers happens on-GPU
-	// over HBM before each layer's gradient offload (§IV-A).
-	gradSyncFlops := 0.0
-	if k > 1 {
-		bytes := float64(cfg.LayerGradBytes()) * 2 * float64(k-1) / float64(k)
-		gradSyncFlops = bytes / r.machine.Spec.GPU.MemBandwidth * r.util * r.machine.Spec.GPU.PeakFlops
-	}
-
-	for i := n - 1; i >= 0; i-- {
-		// pre_backward(i): fetch the layer just outside the window in
-		// the BP direction (Fig. 3c ①).
-		if j := i - m; j >= 0 {
-			// The checkpoint being restored was produced by this
-			// iteration's FP offload of the same layer.
-			deps := []*sim.Signal{fpOffloadDone[j]}
-			if r.e.Feat.UseNVMe {
-				deps = append(deps, r.nvmeStaged[j])
-			}
-			// Buffer freed by the BP offload of layer j+m+1 (issued at
-			// step i+1); the first BP prefetch takes the spare buffer
-			// released by the final FP offload.
-			if j+m+1 <= n-1 {
-				deps = append(deps, bpOffloadDone[j+m+1])
-			}
-			// The BP prefetch restores weights plus the activation
-			// checkpoint needed for recomputation.
-			bpPrefetchDone[j] = r.copyOp(deps, tr, fmt.Sprintf("bp prefetch L%d", j), j, true,
-				r.scaleBytes(j, cfg.LayerWeightBytes()+r.actCheckpointBytes()))
-		}
-		var streamDone []*sim.Signal
-		for s := range r.streams {
-			deps := []*sim.Signal{bpPrefetchDone[i]}
-			if i == n-1 {
-				deps = append(deps, headDone[s])
-			}
-			if sync && i < n-1 && bpOffloadDone[i+1] != nil {
-				deps = append(deps, bpOffloadDone[i+1])
-			}
-			if r.singleOpt != nil && i+1 < n && i+1 >= m {
-				// Without the concurrent optimizer pool, each layer's
-				// update runs synchronously between BP steps (the
-				// conventional ZeRO-Offload-style ordering §III-E1
-				// replaces).
-				deps = append(deps, r.optDone[i+1])
-			}
-			streamDone = append(streamDone, kernel(r.streams[s], bwdFlops*r.layerScale(i), deps, fmt.Sprintf("bp L%d", i), i, trace.KindCompute))
-		}
-		allDone := joinSignals(eng, streamDone)
-		if gradSyncFlops > 0 {
-			allDone = kernel(r.streams[0], gradSyncFlops, []*sim.Signal{allDone}, fmt.Sprintf("grad allreduce L%d", i), i, trace.KindCompute)
-		}
-		bpDone[i] = allDone
-
-		if i >= m {
-			// pre_backward ②③: offload weights+grads, then the CPU
-			// optimizer updates the layer.
-			off := r.offload([]*sim.Signal{allDone}, tr,
-				fmt.Sprintf("bp offload L%d", i), i,
-				r.scaleBytes(i, cfg.LayerWeightBytes()+cfg.LayerGradBytes()))
-			bpOffloadDone[i] = off
-			optSig := sim.NewSignal(eng)
-			layer := i
-			dur := sim.Time(float64(r.cpuOptDuration()) * r.layerScale(i))
-			record := func(start, end sim.Time) {
-				if tr != nil {
-					tr.Add(trace.Span{Track: "cpu-opt", Name: fmt.Sprintf("adam L%d", layer), Kind: trace.KindOptimize, Layer: layer, Start: start, End: end})
-				}
-				optSig.Fire()
-			}
-			sim.WaitAll(eng, []*sim.Signal{off}, func() {
-				if r.singleOpt != nil {
-					r.singleOpt.Submit(dur, record)
-				} else {
-					r.machine.CPUPool.Submit(dur, record)
-				}
-			})
-			r.optDone[i] = optSig
-			if r.e.Feat.UseNVMe {
-				// Spill updated state to disk, then restage for the
-				// next iteration's prefetch with pipeline lookahead.
-				wr := r.machine.NVMeWrite(cfg.LayerWeightBytes(), []*sim.Signal{optSig})
-				r.nvmeStaged[i] = r.machine.NVMeRead(cfg.LayerWeightBytes(), []*sim.Signal{wr})
-			}
-		} else {
-			// Resident head-of-model layers update on the GPU.
-			r.optDone[i] = sim.FiredSignal(eng)
-		}
-	}
-
-	// GPU-side updates: resident window layers + embedding/head.
-	residentOptFlops := float64(m)*r.gpuOptFlops() + r.gpuEmbedOptFlops()
-	var tailDeps []*sim.Signal
-	tailDeps = append(tailDeps, bpDone[0])
-	gpuOpt := kernel(r.streams[0], residentOptFlops, tailDeps, "gpu adam resident", -1, trace.KindOptimize)
-
 	// Iteration completes when every stream's queue drains and the
 	// resident update lands.
-	var endDeps []*sim.Signal
-	endDeps = append(endDeps, gpuOpt)
+	endDeps := []*sim.Signal{sigs[len(sigs)-1]}
 	for _, s := range r.streams {
 		endDeps = append(endDeps, s.Barrier())
 	}
 	return joinSignals(eng, endDeps)
 }
 
-// perStreamForwardFlops returns one layer's FP FLOPs for one stream's
-// micro-batch.
-func (r *iterRun) perStreamForwardFlops() float64 {
-	cfg := r.e.Model.Cfg
-	cfg.BatchSize = cfg.BatchSize / len(r.streams)
-	return cfg.ForwardFlopsPerLayer()
+// schedEnv runs plan ops on the simulated machine: kernels on GPU
+// streams, copies on the PCIe queues (with degraded-mode retries),
+// optimizer steps on the CPU pool, staging on the NVMe queue, and
+// buffer ops against the §III-E3 pool. One env per iteration carries
+// that iteration's trace sink.
+type schedEnv struct {
+	r  *iterRun
+	tr *trace.Trace
 }
 
-func (r *iterRun) perStreamBackwardFlops() float64 {
-	cfg := r.e.Model.Cfg
-	cfg.BatchSize = cfg.BatchSize / len(r.streams)
-	return cfg.BackwardFlopsPerLayer(r.e.Model.Checkpointing)
+func (ev *schedEnv) Resolve(d plan.ExtDep) *sim.Signal {
+	switch d.Kind {
+	case plan.ExtOptDone:
+		return ev.r.optDone[d.Layer]
+	case plan.ExtNVMeStaged:
+		return ev.r.nvmeStaged[d.Layer]
+	case plan.ExtResident:
+		// Non-nil only after a mid-run window grow whose prefetch may
+		// still be in flight; steady-state residency needs no gate.
+		return ev.r.residentReady[d.Layer]
+	}
+	return nil
 }
 
-func (r *iterRun) perStreamEmbedFlops() float64 {
-	cfg := r.e.Model.Cfg
-	cfg.BatchSize = cfg.BatchSize / len(r.streams)
-	return cfg.EmbeddingFlops()
+func (ev *schedEnv) Export(op *plan.Op, sig *sim.Signal) {
+	r := ev.r
+	switch op.Export {
+	case plan.ExtOptDone:
+		r.optDone[op.Layer] = sig
+		if op.Kind == plan.Offload {
+			// Window shrink: the eviction offload replaces the layer's
+			// update signal and ends its grow-gated residency.
+			delete(r.residentReady, op.Layer)
+		}
+	case plan.ExtNVMeStaged:
+		r.nvmeStaged[op.Layer] = sig
+	case plan.ExtResident:
+		r.residentReady[op.Layer] = sig
+	}
+}
+
+func (ev *schedEnv) Issue(op *plan.Op, deps []*sim.Signal) *sim.Signal {
+	r := ev.r
+	eng := r.machine.Eng
+	switch op.Kind {
+	case plan.ComputeFP, plan.ComputeBP:
+		return r.kernel(r.streams[op.Queue], op.Flops, deps, op.Name, op.Layer, trace.KindCompute, ev.tr)
+	case plan.OptStep:
+		if op.GPU {
+			return r.kernel(r.streams[op.Queue], op.Flops, deps, op.Name, op.Layer, trace.KindOptimize, ev.tr)
+		}
+		return r.cpuOpt(op.Name, op.Layer, op.DurNS, deps, ev.tr)
+	case plan.Prefetch:
+		return r.copyOp(deps, ev.tr, op.Name, op.Layer, true, op.Bytes)
+	case plan.Offload:
+		return r.copyOp(deps, ev.tr, op.Name, op.Layer, false, op.Bytes)
+	case plan.NVMeStage:
+		if op.Write {
+			return r.machine.NVMeWrite(op.Bytes, deps)
+		}
+		return r.machine.NVMeRead(op.Bytes, deps)
+	case plan.BufAcquire:
+		layer := op.Layer
+		sig := sim.NewSignal(eng)
+		sim.WaitAll(eng, deps, func() {
+			if err := r.acquireLayer(layer); err != nil && r.schedErr == nil {
+				r.schedErr = err
+			}
+			sig.Fire()
+		})
+		return sig
+	case plan.BufRelease:
+		layer := op.Layer
+		sig := sim.NewSignal(eng)
+		sim.WaitAll(eng, deps, func() {
+			r.releaseLayer(layer)
+			sig.Fire()
+		})
+		return sig
+	}
+	if r.schedErr == nil {
+		r.schedErr = fmt.Errorf("core: plan op %d has unknown kind %d", op.ID, op.Kind)
+	}
+	return sim.FiredSignal(eng)
+}
+
+// kernel launches flops of work on a stream and records its span.
+func (r *iterRun) kernel(s *hw.Stream, flops float64, deps []*sim.Signal, name string, layer int, kind trace.Kind, tr *trace.Trace) *sim.Signal {
+	return s.Launch(flops, r.util, deps, func(start, end sim.Time) {
+		if tr != nil {
+			tr.Add(trace.Span{Track: s.Name(), Name: name, Kind: kind, Layer: layer, Start: start, End: end})
+		}
+	})
+}
+
+// cpuOpt submits one layer's Adam update to the optimizer pool (or the
+// single serialized optimizer when §III-E1 is off).
+func (r *iterRun) cpuOpt(name string, layer int, dur sim.Time, deps []*sim.Signal, tr *trace.Trace) *sim.Signal {
+	eng := r.machine.Eng
+	sig := sim.NewSignal(eng)
+	record := func(start, end sim.Time) {
+		if tr != nil {
+			tr.Add(trace.Span{Track: "cpu-opt", Name: name, Kind: trace.KindOptimize, Layer: layer, Start: start, End: end})
+		}
+		sig.Fire()
+	}
+	sim.WaitAll(eng, deps, func() {
+		if r.singleOpt != nil {
+			r.singleOpt.Submit(dur, record)
+		} else {
+			r.machine.CPUPool.Submit(dur, record)
+		}
+	})
+	return sig
 }
 
 // gpuOptFlops converts the HBM-bound resident-layer update into
-// equivalent kernel work at the current utilization.
-func (r *iterRun) gpuOptFlops() float64 {
+// equivalent kernel work at the given utilization.
+func (e *Engine) gpuOptFlops(util float64) float64 {
 	const bytesPerParam = 28
-	bytes := float64(r.e.Model.Cfg.LayerParamsShard() * bytesPerParam)
-	sec := bytes / r.machine.Spec.GPU.MemBandwidth
-	return sec * r.util * r.machine.Spec.GPU.PeakFlops
+	bytes := float64(e.Model.Cfg.LayerParamsShard() * bytesPerParam)
+	sec := bytes / e.Model.Plat.GPU.MemBandwidth
+	return sec * util * e.Model.Plat.GPU.PeakFlops
 }
 
-func (r *iterRun) gpuEmbedOptFlops() float64 {
+func (e *Engine) gpuEmbedOptFlops(util float64) float64 {
 	const bytesPerParam = 28
-	bytes := float64(r.e.Model.Cfg.EmbeddingParams() / int64(r.e.Model.Cfg.ModelParallel) * bytesPerParam)
-	sec := bytes / r.machine.Spec.GPU.MemBandwidth
-	return sec * r.util * r.machine.Spec.GPU.PeakFlops
+	bytes := float64(e.Model.Cfg.EmbeddingParams() / int64(e.Model.Cfg.ModelParallel) * bytesPerParam)
+	sec := bytes / e.Model.Plat.GPU.MemBandwidth
+	return sec * util * e.Model.Plat.GPU.PeakFlops
 }
 
 // joinSignals returns a signal firing when all inputs fire.

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"stronghold/internal/modelcfg"
+	"stronghold/internal/plan"
+)
+
+// brokenPlan returns the engine's own solved-window plan with its first
+// buffer release neutralized into an inert CPU no-op: the released slot
+// leaks, so the schedule over-subscribes the (m+1)-slot pool.
+func brokenPlan(t *testing.T, e *Engine) *plan.Iteration {
+	t.Helper()
+	p, err := e.BuildPlan(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Ops {
+		if p.Ops[i].Kind == plan.BufRelease {
+			p.Ops[i].Kind = plan.OptStep
+			p.Ops[i].Layer = -1
+			return p
+		}
+	}
+	t.Fatal("plan has no buffer release to drop")
+	return nil
+}
+
+// With validation on, a hand-built plan that breaks the buffer
+// invariants is rejected before anything is simulated: the run reports
+// a structured diagnostic and never issues an op.
+func TestInvalidPlanRejectedBeforeSimulation(t *testing.T) {
+	e := engineFor(modelcfg.Config1p7B())
+	e.planOverride = brokenPlan(t, e)
+	r := e.Run(2, nil)
+	if !r.OOM {
+		t.Fatal("invalid plan must fail the run")
+	}
+	if !strings.Contains(r.OOMDetail, "invariant violation") {
+		t.Fatalf("diagnostic does not name the invariant: %s", r.OOMDetail)
+	}
+	if r.PlanOps != 0 || r.Steps != 0 {
+		t.Fatalf("invalid plan reached the simulator: %d ops, %d steps", r.PlanOps, r.Steps)
+	}
+}
+
+// With validation bypassed, the same plan exhausts the pool at runtime;
+// the engine surfaces that as a structured OOM, not a panic.
+func TestRuntimeBufferViolationSurfacesAsOOM(t *testing.T) {
+	e := engineFor(modelcfg.Config1p7B())
+	e.planOverride = brokenPlan(t, e)
+	e.planSkipValidate = true
+	r := e.Run(2, nil)
+	if !r.OOM {
+		t.Fatal("pool exhaustion must fail the run")
+	}
+	if !strings.Contains(r.OOMDetail, "window buffer invariant violated") {
+		t.Fatalf("diagnostic does not name the violation: %s", r.OOMDetail)
+	}
+	if r.PlanOps == 0 {
+		t.Fatal("bypassed validation must still execute the plan")
+	}
+}

@@ -1,0 +1,23 @@
+// Package maputil holds the tiny deterministic-iteration helpers the
+// simulator packages share. Go map ranges are randomized; any map walk
+// whose side effects can reach the simulation (allocator traffic, span
+// emission, signal wiring) must go through SortedKeys so two runs of
+// the same configuration stay byte-identical — the invariant
+// stronghold-vet's maporder rule enforces.
+package maputil
+
+import (
+	"cmp"
+	"sort"
+)
+
+// SortedKeys returns m's keys in ascending order. A nil map yields an
+// empty slice.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -144,6 +144,9 @@ type IterationResult struct {
 	// (equal to the initial window unless an adaptive re-solve moved it;
 	// zero for engines without a window).
 	FinalWindow int
+	// PlanOps is the length of the validated schedule IR one iteration
+	// executes (zero for engines that do not run on plans yet).
+	PlanOps uint64
 }
 
 // Throughput returns training samples processed per second for the

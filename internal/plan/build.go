@@ -1,0 +1,263 @@
+package plan
+
+import (
+	"fmt"
+
+	"stronghold/internal/sim"
+)
+
+// Spec is the planner input: the window decision, feature toggles and
+// per-layer costs that determine one iteration's schedule. It is plain
+// data — the engine derives it from its model and features, tests
+// write it by hand.
+type Spec struct {
+	Layers int // model depth n
+	Window int // working-set size m
+	Queues int // concurrent compute queues (multi-stream workers)
+
+	// NVMe stages layer state on secondary storage after each
+	// optimizer step. Sync serializes copies with the next layer's
+	// kernels (the pageable caching-allocator path, §III-E3 off).
+	// SingleOpt serializes each layer's backward kernels behind the
+	// previous layer's optimizer step (§III-E1 off).
+	NVMe      bool
+	Sync      bool
+	SingleOpt bool
+
+	// BudgetSlots is the layer-slot capacity of the device buffer pool
+	// (window + spare, §III-E3); 0 defaults to Window+1. BufBytes is
+	// the device bytes one resident layer pins.
+	BudgetSlots int
+	BufBytes    int64
+
+	// WeightBytes moves on every prefetch; CheckpointBytes rides along
+	// on FP offloads and BP prefetches; StateBytes (weights+grads)
+	// moves on BP offloads.
+	WeightBytes     int64
+	CheckpointBytes int64
+	StateBytes      int64
+
+	// Per-queue kernel work. GradSyncFlops > 0 adds the multi-queue
+	// gradient all-reduce after each layer's backward kernels.
+	FwdFlops, BwdFlops, EmbedFlops float64
+	GradSyncFlops                  float64
+	// ResidentOptFlops is the fused on-GPU update of the resident
+	// window and embedding/head.
+	ResidentOptFlops float64
+	// OptDurNS is one layer's CPU Adam duration (scaled per layer).
+	OptDurNS sim.Time
+
+	// LayerScale, when non-nil (length = Layers), scales layer i's
+	// compute and transfer volume (heterogeneous models, §III-B).
+	LayerScale []float64
+}
+
+func (s Spec) scale(i int) float64 {
+	if s.LayerScale == nil || i < 0 || i >= len(s.LayerScale) {
+		return 1
+	}
+	return s.LayerScale[i]
+}
+
+func (s Spec) scaleBytes(i int, bytes int64) int64 {
+	return int64(float64(bytes) * s.scale(i))
+}
+
+// Build lowers a spec into one iteration's schedule. The op order is
+// the exact issue order of the executor — a topological order in which
+// every dependency points backwards — and is deterministic: equal
+// specs produce byte-identical plans.
+func Build(s Spec) (*Iteration, error) {
+	if s.Layers < 1 {
+		return nil, fmt.Errorf("plan: model needs at least one layer, got %d", s.Layers)
+	}
+	if s.Window < 1 {
+		return nil, fmt.Errorf("plan: window must be positive, got %d", s.Window)
+	}
+	if s.Queues < 1 {
+		return nil, fmt.Errorf("plan: need at least one compute queue, got %d", s.Queues)
+	}
+	if s.LayerScale != nil && len(s.LayerScale) != s.Layers {
+		return nil, fmt.Errorf("plan: LayerScale has %d entries for %d layers", len(s.LayerScale), s.Layers)
+	}
+	n, m, k := s.Layers, s.Window, s.Queues
+	budget := s.BudgetSlots
+	if budget == 0 {
+		budget = m + 1
+	}
+
+	it := &Iteration{
+		Layers:      n,
+		Window:      m,
+		Queues:      k,
+		BudgetSlots: budget,
+		BudgetBytes: int64(budget) * s.BufBytes,
+		NVMe:        s.NVMe,
+	}
+	for i := 0; i < m && i < n; i++ {
+		it.EntryResident = append(it.EntryResident, i)
+		it.ExitResident = append(it.ExitResident, i)
+	}
+
+	emit := func(op Op) ID {
+		op.ID = ID(len(it.Ops))
+		it.Ops = append(it.Ops, op)
+		return op.ID
+	}
+	deps := func(ids ...ID) []ID { return append([]ID(nil), ids...) }
+
+	// ---- Forward pass ----------------------------------------------
+	// The window holds layers 0..m-1 at entry; FP prefetches ahead of
+	// the compute front and offloads every layer except the last m.
+	embedOp := make([]ID, k)
+	for q := 0; q < k; q++ {
+		embedOp[q] = emit(Op{Kind: ComputeFP, Name: "fp embed", Layer: -1, Queue: q, Flops: s.EmbedFlops})
+	}
+
+	prefetchOp := make([]ID, n)   // -1 when the layer starts resident
+	fpKernelOp := make([][]ID, n) // per-queue forward kernels
+	fpOffloadOp := make([]ID, n)
+	fpReleaseOp := make([]ID, n)
+	for i := range prefetchOp {
+		prefetchOp[i], fpOffloadOp[i], fpReleaseOp[i] = -1, -1, -1
+	}
+
+	for i := 0; i < n; i++ {
+		// pre_forward(i): load the layer just outside the window
+		// (Fig. 3b ①), claiming its buffers at issue. The prefetch
+		// recycles the buffer freed by layer j-m-1's post-forward
+		// offload; the first prefetch takes the spare slot.
+		if j := i + m; j < n {
+			acq := Op{Kind: BufAcquire, Name: fmt.Sprintf("acquire L%d", j), Layer: j, Queue: -1,
+				Bytes: s.BufBytes, Ext: []ExtDep{{Kind: ExtOptDone, Layer: j}}}
+			if s.NVMe {
+				acq.Ext = append(acq.Ext, ExtDep{Kind: ExtNVMeStaged, Layer: j})
+			}
+			if j > m {
+				acq.Deps = deps(fpReleaseOp[j-m-1])
+			}
+			acqID := emit(acq)
+			prefetchOp[j] = emit(Op{Kind: Prefetch, Name: fmt.Sprintf("prefetch L%d", j), Layer: j, Queue: -1,
+				Bytes: s.scaleBytes(j, s.WeightBytes), Deps: deps(acqID)})
+		}
+		for q := 0; q < k; q++ {
+			op := Op{Kind: ComputeFP, Name: fmt.Sprintf("fp L%d", i), Layer: i, Queue: q,
+				Flops: s.FwdFlops * s.scale(i)}
+			if prefetchOp[i] >= 0 {
+				op.Deps = deps(prefetchOp[i])
+			} else {
+				op.Ext = []ExtDep{{Kind: ExtResident, Layer: i}}
+			}
+			if i == 0 {
+				op.Deps = append(op.Deps, embedOp[q])
+			}
+			if s.Sync && i > 0 && fpOffloadOp[i-1] >= 0 {
+				op.Deps = append(op.Deps, fpOffloadOp[i-1]) // allocator sync
+			}
+			fpKernelOp[i] = append(fpKernelOp[i], emit(op))
+		}
+		if i < n-m {
+			// post_forward(i): the computed layer's parameters and its
+			// activation checkpoint move back to the CPU (Fig. 3b ③);
+			// its buffers recycle once the copy lands.
+			fpOffloadOp[i] = emit(Op{Kind: Offload, Name: fmt.Sprintf("fp offload L%d", i), Layer: i, Queue: -1,
+				Bytes: s.scaleBytes(i, s.WeightBytes+s.CheckpointBytes), Deps: deps(fpKernelOp[i]...)})
+			fpReleaseOp[i] = emit(Op{Kind: BufRelease, Name: fmt.Sprintf("release L%d", i), Layer: i, Queue: -1,
+				Bytes: s.BufBytes, Deps: deps(fpOffloadOp[i])})
+		}
+	}
+
+	headOp := make([]ID, k)
+	for q := 0; q < k; q++ {
+		headOp[q] = emit(Op{Kind: ComputeFP, Name: "fp head+loss", Layer: -1, Queue: q,
+			Flops: s.EmbedFlops, Deps: deps(fpKernelOp[n-1]...)})
+	}
+
+	// ---- Backward pass ---------------------------------------------
+	// BP starts with layers n-m..n-1 resident, prefetches below the
+	// window front and offloads every layer except the first m —
+	// restoring the forward-entry invariant.
+	bpPrefetchOp := make([]ID, n)
+	bpDoneOp := make([][]ID, n) // kernels or the trailing all-reduce
+	bpOffloadOp := make([]ID, n)
+	bpReleaseOp := make([]ID, n)
+	optOp := make([]ID, n)
+	for i := range bpPrefetchOp {
+		bpPrefetchOp[i], bpOffloadOp[i], bpReleaseOp[i], optOp[i] = -1, -1, -1, -1
+	}
+
+	for i := n - 1; i >= 0; i-- {
+		// pre_backward(i): restore the layer just outside the window in
+		// the BP direction (Fig. 3c ①) — weights plus the checkpoint
+		// this iteration's FP offload produced. Its buffers come from
+		// layer j+m+1's BP release; the first BP prefetch takes the
+		// spare slot freed by the final FP offload.
+		if j := i - m; j >= 0 {
+			acq := Op{Kind: BufAcquire, Name: fmt.Sprintf("acquire L%d", j), Layer: j, Queue: -1,
+				Bytes: s.BufBytes, Deps: deps(fpReleaseOp[j])}
+			if s.NVMe {
+				acq.Ext = []ExtDep{{Kind: ExtNVMeStaged, Layer: j}}
+			}
+			if j+m+1 <= n-1 {
+				acq.Deps = append(acq.Deps, bpReleaseOp[j+m+1])
+			}
+			acqID := emit(acq)
+			bpPrefetchOp[j] = emit(Op{Kind: Prefetch, Name: fmt.Sprintf("bp prefetch L%d", j), Layer: j, Queue: -1,
+				Bytes: s.scaleBytes(j, s.WeightBytes+s.CheckpointBytes), Deps: deps(acqID)})
+		}
+		var kernels []ID
+		for q := 0; q < k; q++ {
+			op := Op{Kind: ComputeBP, Name: fmt.Sprintf("bp L%d", i), Layer: i, Queue: q,
+				Flops: s.BwdFlops * s.scale(i)}
+			if bpPrefetchOp[i] >= 0 {
+				op.Deps = deps(bpPrefetchOp[i])
+			}
+			if i == n-1 {
+				op.Deps = append(op.Deps, headOp[q])
+			}
+			if s.Sync && i < n-1 && bpOffloadOp[i+1] >= 0 {
+				op.Deps = append(op.Deps, bpOffloadOp[i+1])
+			}
+			if s.SingleOpt && i+1 < n && optOp[i+1] >= 0 {
+				// Without concurrent optimizers each layer's update runs
+				// synchronously between BP steps (§III-E1 off).
+				op.Deps = append(op.Deps, optOp[i+1])
+			}
+			kernels = append(kernels, emit(op))
+		}
+		bpDoneOp[i] = kernels
+		if s.GradSyncFlops > 0 {
+			// Multi-queue gradient all-reduce over HBM before the
+			// layer's gradient offload (§IV-A).
+			sync := emit(Op{Kind: ComputeBP, Name: fmt.Sprintf("grad allreduce L%d", i), Layer: i, Queue: 0,
+				Flops: s.GradSyncFlops, Deps: deps(kernels...)})
+			bpDoneOp[i] = []ID{sync}
+		}
+
+		if i >= m {
+			// pre_backward ②③: offload weights+grads, update on the
+			// CPU, stage through NVMe when configured, then recycle the
+			// buffers. The release is emitted after the optimizer
+			// chain: the executor registers completion callbacks in op
+			// order, and this order reproduces the engine's exact
+			// issue sequence.
+			bpOffloadOp[i] = emit(Op{Kind: Offload, Name: fmt.Sprintf("bp offload L%d", i), Layer: i, Queue: -1,
+				Bytes: s.scaleBytes(i, s.StateBytes), Deps: deps(bpDoneOp[i]...)})
+			optOp[i] = emit(Op{Kind: OptStep, Name: fmt.Sprintf("adam L%d", i), Layer: i, Queue: -1,
+				DurNS: sim.Time(float64(s.OptDurNS) * s.scale(i)), Deps: deps(bpOffloadOp[i]), Export: ExtOptDone})
+			if s.NVMe {
+				wr := emit(Op{Kind: NVMeStage, Name: fmt.Sprintf("nvme spill L%d", i), Layer: i, Queue: -1,
+					Write: true, Bytes: s.WeightBytes, Deps: deps(optOp[i])})
+				emit(Op{Kind: NVMeStage, Name: fmt.Sprintf("nvme restage L%d", i), Layer: i, Queue: -1,
+					Bytes: s.WeightBytes, Deps: deps(wr), Export: ExtNVMeStaged})
+			}
+			bpReleaseOp[i] = emit(Op{Kind: BufRelease, Name: fmt.Sprintf("release L%d", i), Layer: i, Queue: -1,
+				Bytes: s.BufBytes, Deps: deps(bpOffloadOp[i])})
+		}
+	}
+
+	// GPU-side updates: resident window layers plus embedding/head.
+	emit(Op{Kind: OptStep, Name: "gpu adam resident", Layer: -1, Queue: 0, GPU: true,
+		Flops: s.ResidentOptFlops, Deps: deps(bpDoneOp[0]...)})
+	return it, nil
+}

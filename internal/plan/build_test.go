@@ -1,0 +1,145 @@
+package plan
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stronghold/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden plan fixtures")
+
+// baseSpec is a small but fully featured planner input; the fixture
+// variants toggle one feature each.
+func baseSpec() Spec {
+	return Spec{
+		Layers: 6, Window: 2, Queues: 1,
+		BufBytes:    1 << 20,
+		WeightBytes: 1 << 19, CheckpointBytes: 1 << 16, StateBytes: 1 << 20,
+		FwdFlops: 1e9, BwdFlops: 2e9, EmbedFlops: 5e8,
+		ResidentOptFlops: 3e8,
+		OptDurNS:         sim.Milliseconds(2),
+	}
+}
+
+// fixtureSpecs is the feature matrix the golden fixtures and the
+// validator acceptance test cover: the default schedule, the
+// synchronous/single-optimizer ablations, multi-queue with gradient
+// all-reduce, the NVMe tier, and a heterogeneous LayerScale.
+func fixtureSpecs() map[string]Spec {
+	def := baseSpec()
+
+	sync := baseSpec()
+	sync.Sync, sync.SingleOpt = true, true
+
+	multi := baseSpec()
+	multi.Queues = 4
+	multi.GradSyncFlops = 1e8
+
+	nvme := baseSpec()
+	nvme.NVMe = true
+
+	hetero := baseSpec()
+	hetero.LayerScale = []float64{1, 1.5, 0.5, 2, 1, 0.75}
+
+	return map[string]Spec{
+		"default":     def,
+		"sync":        sync,
+		"multistream": multi,
+		"nvme":        nvme,
+		"hetero":      hetero,
+	}
+}
+
+// Every plan the planner emits must pass the validator — the executor
+// relies on it to turn the engine's runtime buffer panic into a
+// pre-simulation diagnostic.
+func TestBuildOutputsValidate(t *testing.T) {
+	specs := fixtureSpecs()
+	// Edge geometries on top of the feature matrix.
+	one := baseSpec()
+	one.Layers, one.Window = 1, 1
+	specs["single-layer"] = one
+	wide := baseSpec()
+	wide.Window = wide.Layers // window covers the whole model
+	specs["full-window"] = wide
+	deep := baseSpec()
+	deep.Layers, deep.Window = 17, 5
+	specs["deep"] = deep
+
+	for name, s := range specs {
+		it, err := Build(s)
+		if err != nil {
+			t.Fatalf("%s: build: %v", name, err)
+		}
+		if err := Validate(it); err != nil {
+			t.Errorf("%s: planner output rejected by its own validator:\n%v", name, err)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	for name, s := range fixtureSpecs() {
+		a, err := Build(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := Build(s)
+		if Text(a) != Text(b) {
+			t.Errorf("%s: two builds of the same spec render differently", name)
+		}
+	}
+}
+
+func TestBuildRejectsBadSpecs(t *testing.T) {
+	for name, mut := range map[string]func(*Spec){
+		"no layers":        func(s *Spec) { s.Layers = 0 },
+		"no window":        func(s *Spec) { s.Window = 0 },
+		"no queues":        func(s *Spec) { s.Queues = 0 },
+		"scale mismatch":   func(s *Spec) { s.LayerScale = []float64{1, 2} },
+		"negative window":  func(s *Spec) { s.Window = -3 },
+		"negative layers":  func(s *Spec) { s.Layers = -1 },
+		"zero via queues":  func(s *Spec) { s.Queues = -2 },
+		"scale too long":   func(s *Spec) { s.LayerScale = make([]float64, 99) },
+		"scale one short":  func(s *Spec) { s.LayerScale = make([]float64, 5) },
+		"window and layer": func(s *Spec) { s.Layers, s.Window = 0, 0 },
+	} {
+		s := baseSpec()
+		mut(&s)
+		if _, err := Build(s); err == nil {
+			t.Errorf("%s: Build accepted an invalid spec", name)
+		}
+	}
+}
+
+// The golden fixtures pin the canonical text rendering of the feature
+// matrix: any change to the planner's emission order, op payloads or
+// dependency wiring shows up as a fixture diff. Regenerate with
+// `go test ./internal/plan -run TestGoldenPlans -update` and review the
+// diff like any schedule change.
+func TestGoldenPlans(t *testing.T) {
+	for name, s := range fixtureSpecs() {
+		it, err := Build(s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := Text(it)
+		path := filepath.Join("testdata", name+".golden")
+		if *update {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing fixture (run with -update): %v", name, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: plan drifted from its golden fixture (run with -update and review)\nwant:\n%s\ngot:\n%s",
+				name, want, got)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package plan
+
+import (
+	"testing"
+
+	"stronghold/internal/sim"
+)
+
+// recordEnv is a minimal Env that records the executor's walk: issue
+// order, dependency wiring and exports.
+type recordEnv struct {
+	eng      *sim.Engine
+	issued   []ID
+	depCount map[ID]int
+	exported map[ExtDep]*sim.Signal
+	resolved []ExtDep
+}
+
+func newRecordEnv() *recordEnv {
+	return &recordEnv{
+		eng:      sim.NewEngine(),
+		depCount: map[ID]int{},
+		exported: map[ExtDep]*sim.Signal{},
+	}
+}
+
+func (e *recordEnv) Issue(op *Op, deps []*sim.Signal) *sim.Signal {
+	e.issued = append(e.issued, op.ID)
+	e.depCount[op.ID] = len(deps)
+	return sim.FiredSignal(e.eng)
+}
+
+func (e *recordEnv) Resolve(d ExtDep) *sim.Signal {
+	e.resolved = append(e.resolved, d)
+	return nil // already holds
+}
+
+func (e *recordEnv) Export(op *Op, sig *sim.Signal) {
+	e.exported[ExtDep{Kind: op.Export, Layer: op.Layer}] = sig
+}
+
+func TestExecuteWalksCanonicalOrder(t *testing.T) {
+	it := mustBuild(t, baseSpec())
+	env := newRecordEnv()
+	sigs := Execute(it, env)
+	if len(sigs) != len(it.Ops) {
+		t.Fatalf("got %d signals for %d ops", len(sigs), len(it.Ops))
+	}
+	if len(env.issued) != len(it.Ops) {
+		t.Fatalf("issued %d of %d ops", len(env.issued), len(it.Ops))
+	}
+	for i, id := range env.issued {
+		if id != ID(i) {
+			t.Fatalf("op %d issued at position %d: not canonical order", id, i)
+		}
+	}
+	for i := range it.Ops {
+		op := &it.Ops[i]
+		// Resolve returned nil for every Ext, so deps passed to Issue
+		// are exactly the in-plan edges (all signals non-nil here).
+		if got := env.depCount[op.ID]; got != len(op.Deps) {
+			t.Errorf("op %d got %d dep signals, want %d", op.ID, got, len(op.Deps))
+		}
+		if op.Export != 0 {
+			if _, ok := env.exported[ExtDep{Kind: op.Export, Layer: op.Layer}]; !ok {
+				t.Errorf("op %d: export %s:L%d not published", op.ID, op.Export, op.Layer)
+			}
+		}
+	}
+	// Every external dependency in the plan reached Resolve.
+	var wantExt int
+	for i := range it.Ops {
+		wantExt += len(it.Ops[i].Ext)
+	}
+	if len(env.resolved) != wantExt {
+		t.Errorf("resolved %d external deps, plan carries %d", len(env.resolved), wantExt)
+	}
+}

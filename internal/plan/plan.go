@@ -1,0 +1,174 @@
+// Package plan defines a first-class intermediate representation for
+// offload schedules: the prefetch/offload/compute/optimizer/staging
+// operations of one training iteration, with explicit dependency
+// edges, layer tags and deterministic op IDs. The planner (build.go)
+// lowers a window decision and feature set into a plan; the validator
+// (validate.go) checks the scheduling invariants on the IR before any
+// simulation; the executor (exec.go) walks a plan and issues the
+// simulated work through an environment interface — the STRONGHOLD
+// engine and the baseline engines are different environments walking
+// plans from different planners. diff.go turns two plans for adjacent
+// window sizes into the prefetch/offload patch the adaptive scheduler
+// applies at iteration boundaries.
+package plan
+
+import "stronghold/internal/sim"
+
+// Kind discriminates the schedule operations.
+type Kind uint8
+
+const (
+	// Prefetch copies a layer's state host→device (PCIe H2D).
+	Prefetch Kind = iota + 1
+	// Offload copies a layer's state device→host (PCIe D2H).
+	Offload
+	// ComputeFP is forward kernel work on one execution queue.
+	ComputeFP
+	// ComputeBP is backward kernel work on one execution queue.
+	ComputeBP
+	// OptStep applies one layer's (or the resident set's) Adam update,
+	// on the CPU by default or on the GPU when Op.GPU is set.
+	OptStep
+	// NVMeStage moves a layer's state between the host staging ring and
+	// secondary storage (Op.Write selects spill vs. restage).
+	NVMeStage
+	// BufAcquire claims a layer's device window buffers; it gates the
+	// layer's prefetch and models the §III-E3 buffer discipline.
+	BufAcquire
+	// BufRelease returns a layer's device window buffers after its
+	// offload completes, recycling them for a later acquire.
+	BufRelease
+)
+
+// String returns the lower-case kind mnemonic used by the text format.
+func (k Kind) String() string {
+	switch k {
+	case Prefetch:
+		return "prefetch"
+	case Offload:
+		return "offload"
+	case ComputeFP:
+		return "compute-fp"
+	case ComputeBP:
+		return "compute-bp"
+	case OptStep:
+		return "opt-step"
+	case NVMeStage:
+		return "nvme-stage"
+	case BufAcquire:
+		return "buf-acquire"
+	case BufRelease:
+		return "buf-release"
+	}
+	return "invalid"
+}
+
+// ID identifies an op within its plan: ops are numbered 0..len(Ops)-1
+// in emission order, which is also the canonical topological order the
+// validator linearizes over (every dependency points at a smaller ID).
+type ID int32
+
+// ExtKind names a cross-iteration dependency or export: state produced
+// by a previous iteration (or the warm-up) that this plan consumes, or
+// state this plan publishes for the next iteration.
+type ExtKind uint8
+
+const (
+	// ExtOptDone: the layer's parameters are updated and ready to
+	// prefetch (the previous iteration's optimizer step, or the initial
+	// weights before the first iteration).
+	ExtOptDone ExtKind = iota + 1
+	// ExtNVMeStaged: the layer's weights are present in the host
+	// staging ring (NVMe tier only).
+	ExtNVMeStaged
+	// ExtResident: the layer is device-resident from the previous
+	// iteration's backward pass (or a mid-run window grow whose
+	// prefetch may still be in flight).
+	ExtResident
+)
+
+// String returns the short mnemonic used by the text format.
+func (k ExtKind) String() string {
+	switch k {
+	case ExtOptDone:
+		return "opt"
+	case ExtNVMeStaged:
+		return "staged"
+	case ExtResident:
+		return "resident"
+	}
+	return "invalid"
+}
+
+// ExtDep is an external dependency: op issue waits for the named
+// cross-iteration fact about a layer.
+type ExtDep struct {
+	Kind  ExtKind `json:"kind"`
+	Layer int     `json:"layer"`
+}
+
+// Op is one schedule operation. Fields beyond Kind are interpreted per
+// kind: copies and stages carry Bytes, kernels carry Flops and a queue
+// index, explicit-duration environments read DurNS.
+type Op struct {
+	ID   ID     `json:"id"`
+	Kind Kind   `json:"kind"`
+	Name string `json:"name"`
+	// Layer tags the transformer block the op serves; -1 for
+	// model-level ops (embedding, head, resident optimizer sweep).
+	Layer int `json:"layer"`
+	// Queue is the execution-queue index for compute/optimizer ops —
+	// a GPU stream in the STRONGHOLD engine, a serial resource in the
+	// baseline engines. -1 for ops bound to a fixed resource (copies,
+	// staging, buffer bookkeeping).
+	Queue int `json:"queue"`
+	// Bytes is the payload of Prefetch/Offload/NVMeStage ops, and the
+	// device bytes a BufAcquire pins until its matching BufRelease.
+	Bytes int64 `json:"bytes,omitempty"`
+	// Flops is the kernel work of compute ops and GPU OptSteps.
+	Flops float64 `json:"flops,omitempty"`
+	// DurNS is an explicit duration for environments that issue ops by
+	// time rather than by work (CPU OptSteps, the baseline engines).
+	DurNS sim.Time `json:"dur_ns,omitempty"`
+	// Write selects the NVMeStage direction: true spills to storage,
+	// false restages into the host ring.
+	Write bool `json:"write,omitempty"`
+	// GPU places an OptStep on the device queue instead of the CPU
+	// optimizer pool.
+	GPU bool `json:"gpu,omitempty"`
+	// Deps are in-plan dependencies; every entry must be a smaller ID.
+	Deps []ID `json:"deps,omitempty"`
+	// Ext are cross-iteration dependencies the environment resolves.
+	Ext []ExtDep `json:"ext,omitempty"`
+	// Export, when non-zero, publishes this op's completion as the
+	// named cross-iteration fact for Op.Layer (e.g. an OptStep exports
+	// ExtOptDone; the next iteration's prefetch of the layer consumes
+	// it).
+	Export ExtKind `json:"export,omitempty"`
+}
+
+// Iteration is one full training iteration's schedule.
+type Iteration struct {
+	// Layers is the model depth n; Window the working-set size m;
+	// Queues the number of compute execution queues.
+	Layers int `json:"layers"`
+	Window int `json:"window"`
+	Queues int `json:"queues"`
+	// BudgetSlots bounds how many layers may hold device buffers at
+	// once (the reserved pool holds BudgetSlots layer-sized slots);
+	// BudgetBytes is the same ceiling in bytes. Zero disables the
+	// respective check.
+	BudgetSlots int   `json:"budget_slots,omitempty"`
+	BudgetBytes int64 `json:"budget_bytes,omitempty"`
+	// EntryResident lists the layers holding device buffers when the
+	// iteration starts; ExitResident when it ends. The schedule must
+	// transform one into the other (§III-E1's window invariant).
+	EntryResident []int `json:"entry_resident"`
+	ExitResident  []int `json:"exit_resident"`
+	// NVMe records whether the plan stages layer state on secondary
+	// storage (diffing uses it to carry staging dependencies into
+	// patches).
+	NVMe bool `json:"nvme,omitempty"`
+	// Ops in emission order — the canonical topological order.
+	Ops []Op `json:"ops"`
+}

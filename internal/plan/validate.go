@@ -1,0 +1,313 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Validate checks a plan's scheduling invariants on the IR, before any
+// simulation:
+//
+//  1. well-formed dependency structure: sequential IDs, every edge
+//     pointing at an earlier op (which also excludes cycles — the op
+//     list is the canonical topological order the executor issues in);
+//  2. buffer discipline: every acquire has a matching release, every
+//     release closes an epoch opened by an acquire (or by entry
+//     residency), and the plan ends holding exactly the declared exit
+//     set;
+//  3. residency before use: every layer-tagged compute happens-after
+//     the acquire that made the layer resident (entry-resident layers
+//     are exempt), through explicit edges or same-queue FIFO order;
+//  4. window ceiling: under every admissible event timing the number
+//     of layers holding device buffers stays within the slot budget.
+//
+// A nil error means the executor cannot hit the engine's
+// buffer-invariant error on this plan. Violations are aggregated so a
+// broken plan reports every problem at once.
+func Validate(it *Iteration) error {
+	v := &validator{it: it}
+	v.checkStructure()
+	if len(v.errs) == 0 {
+		v.computeReach()
+		v.checkBuffers()
+		v.checkResidency()
+		v.checkBudget()
+	}
+	if len(v.errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("plan: %d invariant violation(s):\n  %s", len(v.errs), strings.Join(v.errs, "\n  "))
+}
+
+type validator struct {
+	it   *Iteration
+	errs []string
+	// reach[i] is the transitive happens-before set of op i (explicit
+	// deps plus same-queue FIFO edges), as a bitset over op IDs.
+	reach []bitset
+}
+
+func (v *validator) failf(op *Op, format string, args ...any) {
+	prefix := ""
+	if op != nil {
+		prefix = fmt.Sprintf("op %d (%s %q): ", op.ID, op.Kind, op.Name)
+	}
+	v.errs = append(v.errs, prefix+fmt.Sprintf(format, args...))
+}
+
+// checkStructure validates IDs, edge direction (no cycles), queue and
+// layer ranges, and external-dependency sanity.
+func (v *validator) checkStructure() {
+	it := v.it
+	entry := make(map[int]bool, len(it.EntryResident))
+	for _, l := range it.EntryResident {
+		entry[l] = true
+	}
+	for i := range it.Ops {
+		op := &it.Ops[i]
+		if op.ID != ID(i) {
+			v.failf(op, "ID out of sequence at position %d", i)
+			return // later checks index by ID
+		}
+		for _, d := range op.Deps {
+			if d < 0 || int(d) >= len(it.Ops) {
+				v.failf(op, "dependency %d outside the plan", d)
+			} else if d >= op.ID {
+				v.failf(op, "dependency %d does not precede it: dependency cycle or non-topological op order", d)
+			}
+		}
+		switch op.Kind {
+		case ComputeFP, ComputeBP:
+			if op.Queue < 0 || op.Queue >= it.Queues {
+				v.failf(op, "queue %d outside [0,%d)", op.Queue, it.Queues)
+			}
+		case OptStep:
+			if op.GPU && (op.Queue < 0 || op.Queue >= it.Queues) {
+				v.failf(op, "GPU queue %d outside [0,%d)", op.Queue, it.Queues)
+			}
+		case Prefetch, Offload, NVMeStage, BufAcquire, BufRelease:
+			if op.Layer < 0 || op.Layer >= it.Layers {
+				v.failf(op, "layer %d outside [0,%d)", op.Layer, it.Layers)
+			}
+		default:
+			v.failf(op, "invalid kind %d", op.Kind)
+		}
+		for _, x := range op.Ext {
+			if x.Layer < 0 || x.Layer >= it.Layers {
+				v.failf(op, "external dependency %s on layer %d outside [0,%d)", x.Kind, x.Layer, it.Layers)
+			}
+			if x.Kind == ExtResident && !entry[x.Layer] {
+				v.failf(op, "resident dependency on layer %d, which is not entry-resident", x.Layer)
+			}
+		}
+	}
+}
+
+// bitset over op IDs.
+type bitset []uint64
+
+func (b bitset) set(i ID)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) has(i ID) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (b bitset) or(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+// computeReach builds each op's happens-before closure: explicit
+// dependencies plus the implicit FIFO edge between consecutive ops on
+// the same execution queue (streams launch in issue order).
+func (v *validator) computeReach() {
+	it := v.it
+	words := (len(it.Ops) + 63) / 64
+	v.reach = make([]bitset, len(it.Ops))
+	queueTail := make([]ID, it.Queues)
+	for q := range queueTail {
+		queueTail[q] = -1
+	}
+	for i := range it.Ops {
+		op := &it.Ops[i]
+		r := make(bitset, words)
+		add := func(d ID) {
+			r.set(d)
+			r.or(v.reach[d])
+		}
+		for _, d := range op.Deps {
+			add(d)
+		}
+		if onQueue(op) {
+			if t := queueTail[op.Queue]; t >= 0 {
+				add(t)
+			}
+			queueTail[op.Queue] = op.ID
+		}
+		v.reach[i] = r
+	}
+}
+
+// onQueue reports whether the op occupies a FIFO execution queue.
+func onQueue(op *Op) bool {
+	return op.Kind == ComputeFP || op.Kind == ComputeBP || (op.Kind == OptStep && op.GPU)
+}
+
+// happensBefore reports whether a is in b's dependency closure.
+func (v *validator) happensBefore(a, b ID) bool { return v.reach[b].has(a) }
+
+// firedBefore reports whether op a has provably completed by the time
+// op b issues. Beyond plain closure membership, a zero-duration
+// bookkeeping op (BufRelease/BufAcquire) fires synchronously with its
+// last dependency, so it has fired by b's issue whenever all its
+// dependencies are in b's closure.
+func (v *validator) firedBefore(a, b ID) bool {
+	if v.happensBefore(a, b) {
+		return true
+	}
+	op := &v.it.Ops[a]
+	if op.Kind != BufRelease && op.Kind != BufAcquire {
+		return false
+	}
+	if len(op.Deps) == 0 || len(op.Ext) > 0 {
+		return false
+	}
+	for _, d := range op.Deps {
+		if !v.happensBefore(d, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkBuffers walks the canonical order tracking each layer's
+// residency epochs: acquires open epochs, releases close them, and the
+// final held set must equal the declared exit set. Each release must
+// also causally follow the acquire whose epoch it closes — adjacency
+// in the linear order is not enough for an event-driven executor.
+func (v *validator) checkBuffers() {
+	it := v.it
+	openedBy := make(map[int]ID) // layer → acquire that opened the current epoch (-1: entry)
+	for _, l := range it.EntryResident {
+		openedBy[l] = -1
+	}
+	for i := range it.Ops {
+		op := &it.Ops[i]
+		switch op.Kind {
+		case BufAcquire:
+			if opener, held := openedBy[op.Layer]; held {
+				v.failf(op, "layer %d acquired while already resident (epoch opened by op %d)", op.Layer, opener)
+			}
+			openedBy[op.Layer] = op.ID
+		case BufRelease:
+			opener, held := openedBy[op.Layer]
+			if !held {
+				v.failf(op, "release of layer %d, which holds no buffers here", op.Layer)
+				continue
+			}
+			if opener >= 0 && !v.happensBefore(opener, op.ID) {
+				v.failf(op, "does not happen-after the acquire (op %d) it releases", opener)
+			}
+			delete(openedBy, op.Layer)
+		}
+	}
+	exit := make(map[int]bool, len(it.ExitResident))
+	for _, l := range it.ExitResident {
+		exit[l] = true
+	}
+	for l, opener := range openedBy {
+		if !exit[l] {
+			if opener >= 0 {
+				v.failf(&it.Ops[opener], "layer %d still holds buffers at iteration end (missing release)", l)
+			} else {
+				v.errs = append(v.errs, fmt.Sprintf("entry-resident layer %d still holds buffers at iteration end (missing release)", l))
+			}
+		}
+	}
+	for _, l := range it.ExitResident {
+		if _, held := openedBy[l]; !held {
+			v.errs = append(v.errs, fmt.Sprintf("layer %d must exit resident but its buffers are released", l))
+		}
+	}
+}
+
+// checkResidency verifies every layer-tagged compute op happens-after
+// the acquire that made its layer resident. The epoch is determined by
+// the canonical order; the causal edge must exist through explicit
+// deps or queue FIFO order, otherwise an execution interleaving exists
+// where the kernel runs before its weights arrive.
+func (v *validator) checkResidency() {
+	it := v.it
+	openedBy := make(map[int]ID)
+	for _, l := range it.EntryResident {
+		openedBy[l] = -1
+	}
+	for i := range it.Ops {
+		op := &it.Ops[i]
+		switch op.Kind {
+		case BufAcquire:
+			openedBy[op.Layer] = op.ID
+		case BufRelease:
+			delete(openedBy, op.Layer)
+		case ComputeFP, ComputeBP:
+			if op.Layer < 0 {
+				continue
+			}
+			opener, held := openedBy[op.Layer]
+			if !held {
+				v.failf(op, "computes on layer %d while it holds no buffers", op.Layer)
+				continue
+			}
+			if opener >= 0 && !v.happensBefore(opener, op.ID) {
+				v.failf(op, "does not happen-after the prefetch acquire (op %d) of layer %d", opener, op.Layer)
+			}
+		}
+	}
+}
+
+// checkBudget bounds worst-case concurrent residency with a funding
+// argument: the pool starts with BudgetSlots − |entry| spare slots,
+// and every acquire must either take a spare or be funded by a
+// distinct release that provably fires before the acquire can issue
+// (the §III-E3 recycling dependencies). If some acquire has neither, a
+// timing exists — transfers finishing in an adversarial order — where
+// the pool is exhausted at that acquire; with the funding matching in
+// hand, fired-acquires ≤ fired-releases + spares at every instant, so
+// no timing can exceed the budget.
+func (v *validator) checkBudget() {
+	it := v.it
+	if it.BudgetSlots == 0 {
+		return
+	}
+	spares := it.BudgetSlots - len(it.EntryResident)
+	if spares < 0 {
+		v.errs = append(v.errs, fmt.Sprintf("entry-resident set (%d layers) exceeds the %d-slot budget",
+			len(it.EntryResident), it.BudgetSlots))
+		return
+	}
+	var releases []ID
+	consumed := make([]bool, len(it.Ops))
+	for i := range it.Ops {
+		op := &it.Ops[i]
+		if op.Kind != BufAcquire {
+			if op.Kind == BufRelease {
+				releases = append(releases, op.ID)
+			}
+			continue
+		}
+		funded := false
+		for _, r := range releases { // ascending ID: deterministic choice
+			if !consumed[r] && v.firedBefore(r, op.ID) {
+				consumed[r] = true
+				funded = true
+				break
+			}
+		}
+		if funded {
+			continue
+		}
+		if spares > 0 {
+			spares--
+			continue
+		}
+		v.failf(op, "may exceed the %d-slot window budget: no spare slot left and no release provably completes before it",
+			it.BudgetSlots)
+	}
+}

@@ -1,0 +1,171 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustBuild(t *testing.T, s Spec) *Iteration {
+	t.Helper()
+	it, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(it); err != nil {
+		t.Fatalf("base plan invalid before mutation: %v", err)
+	}
+	return it
+}
+
+func findOp(t *testing.T, it *Iteration, kind Kind, name string) *Op {
+	t.Helper()
+	for i := range it.Ops {
+		if it.Ops[i].Kind == kind && it.Ops[i].Name == name {
+			return &it.Ops[i]
+		}
+	}
+	t.Fatalf("plan has no %s op named %q", kind, name)
+	return nil
+}
+
+// Each case mutates one invariant out of a valid planner output and
+// must be rejected with a diagnostic naming that invariant — the
+// negative fixtures for the validator's four checks (structure,
+// buffer pairing, residency-before-use, window budget).
+func TestValidateRejectsMutations(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(t *testing.T, it *Iteration)
+		wantMsg string
+	}{
+		{
+			// Structure: a forward edge is a cycle under the canonical
+			// topological order.
+			name: "dependency cycle",
+			mutate: func(t *testing.T, it *Iteration) {
+				op := findOp(t, it, Prefetch, "prefetch L2")
+				op.Deps = append(op.Deps, op.ID+1)
+			},
+			wantMsg: "dependency cycle",
+		},
+		{
+			// Structure: an ExtResident dependency on a layer outside
+			// the entry-resident set can never be satisfied.
+			name: "resident dep on windowed layer",
+			mutate: func(t *testing.T, it *Iteration) {
+				op := findOp(t, it, ComputeFP, "fp L4")
+				op.Ext = append(op.Ext, ExtDep{Kind: ExtResident, Layer: 5})
+			},
+			wantMsg: "not entry-resident",
+		},
+		{
+			// Buffers: dropping a release (neutralized to an inert op so
+			// IDs stay sequential) leaves the layer holding buffers at
+			// iteration end.
+			name: "dropped release",
+			mutate: func(t *testing.T, it *Iteration) {
+				// Layer 5's backward release is the last time the layer
+				// frees its slot; without it the layer leaks past the
+				// iteration boundary.
+				op := findOp(t, it, BufRelease, "release L5")
+				op.Kind = OptStep
+				op.Layer = -1
+			},
+			wantMsg: "missing release",
+		},
+		{
+			// Buffers: acquiring a layer that is already resident.
+			name: "double acquire",
+			mutate: func(t *testing.T, it *Iteration) {
+				op := findOp(t, it, BufAcquire, "acquire L3")
+				op.Layer = 0 // layer 0 is entry-resident
+			},
+			wantMsg: "already resident",
+		},
+		{
+			// Buffers: releasing a layer that holds nothing here.
+			name: "release without hold",
+			mutate: func(t *testing.T, it *Iteration) {
+				op := findOp(t, it, BufRelease, "release L0")
+				op.Layer = 5 // not yet acquired at that point
+			},
+			wantMsg: "holds no buffers",
+		},
+		{
+			// Buffers: the declared exit set must match the held set.
+			name: "exit set mismatch",
+			mutate: func(t *testing.T, it *Iteration) {
+				it.ExitResident = append(it.ExitResident, it.Layers-1)
+			},
+			wantMsg: "must exit resident",
+		},
+		{
+			// Residency: a kernel whose prefetch edge is dropped can run
+			// before its weights arrive under some event timing.
+			name: "reordered prefetch",
+			mutate: func(t *testing.T, it *Iteration) {
+				op := findOp(t, it, ComputeFP, "fp L3")
+				op.Deps = nil
+			},
+			wantMsg: "does not happen-after",
+		},
+		{
+			// Budget: dropping the recycle dependency lets the acquire
+			// race the release it was funded by — pool exhaustion under
+			// adversarial transfer timing.
+			name: "dropped recycle dep",
+			mutate: func(t *testing.T, it *Iteration) {
+				op := findOp(t, it, BufAcquire, "acquire L5")
+				op.Deps = nil
+			},
+			wantMsg: "window budget",
+		},
+		{
+			// Budget: a pool smaller than the entry-resident set cannot
+			// even start the iteration.
+			name: "budget below entry set",
+			mutate: func(t *testing.T, it *Iteration) {
+				it.BudgetSlots = len(it.EntryResident) - 1
+			},
+			wantMsg: "exceeds the",
+		},
+		{
+			// Budget: removing the spare slot leaves the first prefetch
+			// acquire unfunded.
+			name: "no spare slot",
+			mutate: func(t *testing.T, it *Iteration) {
+				it.BudgetSlots = len(it.EntryResident)
+			},
+			wantMsg: "window budget",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			it := mustBuild(t, baseSpec())
+			tc.mutate(t, it)
+			err := Validate(it)
+			if err == nil {
+				t.Fatalf("validator accepted the mutated plan")
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("diagnostic %q does not mention %q", err, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// A broken plan reports every violation at once, not just the first.
+func TestValidateAggregatesViolations(t *testing.T) {
+	it := mustBuild(t, baseSpec())
+	findOp(t, it, ComputeFP, "fp L3").Deps = nil           // residency
+	it.ExitResident = append(it.ExitResident, it.Layers-1) // buffers
+	err := Validate(it)
+	if err == nil {
+		t.Fatal("validator accepted a doubly broken plan")
+	}
+	for _, want := range []string{"does not happen-after", "must exit resident"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("aggregate diagnostic missing %q:\n%v", want, err)
+		}
+	}
+}
