@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestCompareRegression drives two synthetic BENCH files through
+// -compare end to end: the 10% throughput drop in "alpha" must trip the
+// 5% gate (exit 2) and the diff output must match the golden byte for
+// byte.
+func TestCompareRegression(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-compare", "-threshold", "0.05", "testdata/old.json", "testdata/new.json"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, stderr.String())
+	}
+	golden := filepath.Join("testdata", "compare_golden.txt")
+	if *update {
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("compare output drifted from golden:\n--- got ---\n%s--- want ---\n%s", stdout.String(), want)
+	}
+}
+
+// TestCompareThresholdMath checks the gate's arithmetic: alpha dropped
+// exactly 10%, so an 11% threshold passes and a 9.99% threshold fails.
+func TestCompareThresholdMath(t *testing.T) {
+	for _, tc := range []struct {
+		threshold string
+		want      int
+	}{
+		{"0.11", 0},
+		{"0.1", 0}, // boundary: delta == -threshold is not "past" it
+		{"0.0999", 2},
+	} {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-compare", "-threshold", tc.threshold, "testdata/old.json", "testdata/new.json"}, &stdout, &stderr)
+		if code != tc.want {
+			t.Errorf("threshold %s: exit code = %d, want %d\n%s", tc.threshold, code, tc.want, stdout.String())
+		}
+	}
+}
+
+// TestCompareErrors covers the error exits: wrong arity, missing file,
+// wrong schema.
+func TestCompareErrors(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-compare", "testdata/old.json"}, &out, &out); code != 1 {
+		t.Errorf("one-file compare: exit %d, want 1", code)
+	}
+	if code := run([]string{"-compare", "testdata/old.json", "testdata/missing.json"}, &out, &out); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/v9","rev":"x","scenarios":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-compare", bad, "testdata/new.json"}, &out, &out); code != 1 {
+		t.Errorf("schema mismatch: exit %d, want 1", code)
+	}
+}
+
+// TestListAndUnknownScenario covers -list and the unknown -only error.
+func TestListAndUnknownScenario(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit %d", code)
+	}
+	names := strings.Fields(stdout.String())
+	if len(names) != len(suite()) {
+		t.Errorf("-list printed %d names, suite has %d", len(names), len(suite()))
+	}
+	var out bytes.Buffer
+	if code := run([]string{"-only", "no-such-scenario", "-out", "-"}, &out, &out); code != 1 {
+		t.Errorf("unknown -only: exit %d, want 1", code)
+	}
+}
+
+// TestBenchScenarioDeterministic runs the cheapest real scenario twice
+// through the full CLI path and requires byte-identical documents — the
+// BENCH file is a determinism artifact, not a measurement.
+func TestBenchScenarioDeterministic(t *testing.T) {
+	emit := func() []byte {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-only", "stronghold-1p7b", "-rev", "t", "-out", "-"}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("bench run exit %d: %s", code, stderr.String())
+		}
+		return stdout.Bytes()
+	}
+	a, b := emit(), emit()
+	if !bytes.Equal(a, b) {
+		t.Fatal("repeated bench runs produced different BENCH documents")
+	}
+	var doc Doc
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatal(err)
+	}
+	s, ok := doc.Scenarios["stronghold-1p7b"]
+	if !ok {
+		t.Fatal("scenario missing from document")
+	}
+	if s.Throughput <= 0 || s.TFLOPS <= 0 || s.MetricSamples == 0 || s.H2DP50NS == 0 {
+		t.Errorf("scenario fields not populated: %+v", s)
+	}
+	if s.H2DP99NS < s.H2DP50NS {
+		t.Errorf("p99 %d < p50 %d", s.H2DP99NS, s.H2DP50NS)
+	}
+}

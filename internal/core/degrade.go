@@ -148,6 +148,9 @@ func (r *iterRun) observeCopy(name string, nominal, start, end, delayed sim.Time
 	r.obsActual += actual
 	if float64(actual) > r.adapt.DeadlineFactor*float64(nominal) {
 		r.deadlineMisses++
+		if mc := r.e.Metrics; mc != nil {
+			mc.CountDeadlineMiss()
+		}
 		if r.faultTr != nil {
 			r.faultTr.Add(trace.Span{Track: faultTrack, Name: "deadline miss " + name,
 				Kind: trace.KindFault, Layer: -1, Start: start, End: end})
@@ -165,6 +168,9 @@ func (r *iterRun) submitWithRetry(res *sim.Resource, tg fault.Target, dur sim.Ti
 		now := eng.Now()
 		if _, dropped := r.inj.DropUntil(tg, now); dropped && try < r.adapt.MaxRetries {
 			r.retries++
+			if mc := r.e.Metrics; mc != nil {
+				mc.CountRetry()
+			}
 			shift := try
 			if shift > 16 {
 				shift = 16
@@ -224,6 +230,9 @@ func (r *iterRun) adaptWindow() {
 		return
 	}
 	r.resolves++
+	if mc := r.e.Metrics; mc != nil {
+		mc.CountResolve()
+	}
 	if r.faultTr != nil {
 		now := r.machine.Eng.Now()
 		r.faultTr.Add(trace.Span{Track: faultTrack, Name: fmt.Sprintf("re-solve m %d→%d (ratio %.2f)", r.window, target, ratio),
@@ -253,6 +262,9 @@ func (r *iterRun) resize(newM int) {
 	}
 	patch.Apply(&schedEnv{r: r, tr: r.faultTr})
 	r.window = newM
+	if mc := r.e.Metrics; mc != nil {
+		mc.SetWindow(r.machine.Eng.Now(), newM)
+	}
 }
 
 // emitFaultWindows appends the injected fault schedule itself to the

@@ -6,6 +6,7 @@ import (
 	"stronghold/internal/fault"
 	"stronghold/internal/hw"
 	"stronghold/internal/mem"
+	"stronghold/internal/metrics"
 	"stronghold/internal/modelcfg"
 	"stronghold/internal/perf"
 	"stronghold/internal/plan"
@@ -76,6 +77,13 @@ type Engine struct {
 	Faults *fault.Plan
 	// Adapt tunes degraded-mode behavior; zero value = defaults.
 	Adapt AdaptConfig
+	// Metrics, when non-nil, collects the run's virtual-time metrics:
+	// it is installed as the sim engine's Observer and the machine's
+	// TransferObserver, and the engine feeds it window/optimizer/fault
+	// events from its own scheduling paths. Same contract as
+	// fault.SetStretch: nil (the default) leaves every schedule and
+	// trace byte-for-byte identical to an engine without the field.
+	Metrics *metrics.Collector
 
 	// planOverride substitutes a hand-built schedule for the planner's
 	// output — the test hook for exercising the validator's pre-sim
@@ -292,6 +300,11 @@ func (e *Engine) runSim(iters int, tr *trace.Trace) (perf.IterationResult, *iter
 		machine.H2D.SetJitter(1, e.TransferJitter)
 		machine.D2H.SetJitter(2, e.TransferJitter)
 	}
+	if e.Metrics != nil {
+		eng.SetObserver(e.Metrics)
+		machine.Xfer = e.Metrics
+		e.Metrics.SetWindow(0, window)
+	}
 	// In degraded mode the buffer pool is sized for the largest window
 	// the adaptive re-solve may grow into; on the clean path this is
 	// exactly the solved window, preserving the pool's byte accounting.
@@ -333,6 +346,17 @@ func (e *Engine) runSim(iters int, tr *trace.Trace) (perf.IterationResult, *iter
 	}
 	eng.Run()
 	res.Steps = eng.Steps()
+	res.Util = perf.ResourceUtil{
+		Compute: machine.Compute.Utilization(),
+		H2D:     machine.H2D.Utilization(),
+		D2H:     machine.D2H.Utilization(),
+		CPU:     machine.CPUPool.Utilization(),
+		NVMe:    machine.NVMeQ.Utilization(),
+		NIC:     machine.NIC.Utilization(),
+	}
+	if e.Metrics != nil {
+		res.MetricSamples = e.Metrics.Points()
+	}
 	var lastStart sim.Time
 	if iters > 1 {
 		lastStart = ends[iters-2].FiredAt()
@@ -559,7 +583,25 @@ func (r *iterRun) acquireLayer(layer int) error {
 		}
 		r.layerCache[layer] = append(r.layerCache[layer], blocks...)
 	}
+	r.noteOccupancy()
 	return nil
+}
+
+// noteOccupancy samples the working-window occupancy timeline: how many
+// layers currently hold device buffers.
+func (r *iterRun) noteOccupancy() {
+	mc := r.e.Metrics
+	if mc == nil {
+		return
+	}
+	held := 0
+	switch {
+	case r.pool != nil:
+		held = len(r.layerBuf)
+	case r.cache != nil:
+		held = len(r.layerCache)
+	}
+	mc.WindowOccupancy(r.machine.Eng.Now(), held)
 }
 
 // releaseLayer returns a layer's buffers as it leaves the window.
@@ -576,6 +618,7 @@ func (r *iterRun) releaseLayer(layer int) {
 		}
 		delete(r.layerCache, layer)
 	}
+	r.noteOccupancy()
 }
 
 func (r *iterRun) copyOp(deps []*sim.Signal, tr *trace.Trace, name string, layer int, h2d bool, bytes int64) *sim.Signal {
@@ -595,6 +638,16 @@ func (r *iterRun) copyOp(deps []*sim.Signal, tr *trace.Trace, name string, layer
 				kind, track = trace.KindH2D, "pcie-h2d"
 			}
 			tr.Add(trace.Span{Track: track, Name: name, Kind: kind, Layer: layer, Start: start, End: end})
+		}
+		if mc := r.e.Metrics; mc != nil {
+			// Core issues its PCIe copies on the raw queues rather than
+			// through the machine's Copy helpers, so the byte accounting
+			// the machine-level TransferObserver would do happens here.
+			channel := "pcie.d2h"
+			if h2d {
+				channel = "pcie.h2d"
+			}
+			mc.Transfer(channel, bytes, start, end)
 		}
 	}
 	eng := r.machine.Eng
@@ -787,9 +840,15 @@ func (r *iterRun) cpuOpt(name string, layer int, dur sim.Time, deps []*sim.Signa
 		if tr != nil {
 			tr.Add(trace.Span{Track: "cpu-opt", Name: name, Kind: trace.KindOptimize, Layer: layer, Start: start, End: end})
 		}
+		if mc := r.e.Metrics; mc != nil {
+			mc.OptDone(end)
+		}
 		sig.Fire()
 	}
 	sim.WaitAll(eng, deps, func() {
+		if mc := r.e.Metrics; mc != nil {
+			mc.OptQueued(eng.Now())
+		}
 		if r.singleOpt != nil {
 			r.singleOpt.Submit(dur, record)
 		} else {

@@ -25,6 +25,30 @@ type Machine struct {
 	HostMem *mem.Arena // pageable host memory (usable portion)
 	Pinned  *mem.Arena // page-locked host region (carved from host)
 	Disk    *mem.Arena // NVMe capacity
+
+	// Xfer, when non-nil, observes every byte-counted transfer issued
+	// through the machine's copy helpers (DMA engines, NVMe queue, NIC)
+	// — the byte-level complement of the engine-level sim.Observer, from
+	// which bandwidth timelines are derived. Same contract: a pure sink,
+	// and nil (the default) leaves every schedule byte-identical.
+	Xfer TransferObserver
+}
+
+// TransferObserver receives completed byte-counted transfers. channel
+// is the carrying resource's name (pcie.h2d, pcie.d2h, nvme, nic) and
+// start/end the transfer's occupancy span on it.
+type TransferObserver interface {
+	Transfer(channel string, bytes int64, start, end sim.Time)
+}
+
+// xferDone returns the completion callback recording a transfer to the
+// installed observer, or nil — the exact pre-observer call shape — when
+// observation is off.
+func (m *Machine) xferDone(channel string, bytes int64) func(start, end sim.Time) {
+	if m.Xfer == nil {
+		return nil
+	}
+	return func(start, end sim.Time) { m.Xfer.Transfer(channel, bytes, start, end) }
 }
 
 // NewMachine builds one server. pinnedBytes is carved out of usable host
@@ -70,33 +94,33 @@ func (m *Machine) copyDuration(bytes int64, pinned bool) sim.Time {
 // returning its completion signal. The AsyncCallNS launch overhead
 // (the paper's t_async) is charged on the engine occupancy.
 func (m *Machine) CopyH2D(bytes int64, pinned bool, deps []*sim.Signal) *sim.Signal {
-	return m.H2D.SubmitAfter(deps, m.Spec.AsyncCallNS+m.copyDuration(bytes, pinned), nil)
+	return m.H2D.SubmitAfter(deps, m.Spec.AsyncCallNS+m.copyDuration(bytes, pinned), m.xferDone("pcie.h2d", bytes))
 }
 
 // CopyD2H schedules an asynchronous device→host transfer after deps.
 func (m *Machine) CopyD2H(bytes int64, pinned bool, deps []*sim.Signal) *sim.Signal {
-	return m.D2H.SubmitAfter(deps, m.Spec.AsyncCallNS+m.copyDuration(bytes, pinned), nil)
+	return m.D2H.SubmitAfter(deps, m.Spec.AsyncCallNS+m.copyDuration(bytes, pinned), m.xferDone("pcie.d2h", bytes))
 }
 
 // NVMeRead schedules an asynchronous read of the given size from NVMe
 // into host memory.
 func (m *Machine) NVMeRead(bytes int64, deps []*sim.Signal) *sim.Signal {
 	d := m.Spec.NVMe.LatencyNS + sim.Time(float64(bytes)/m.Spec.NVMe.ReadBW*1e9)
-	return m.NVMeQ.SubmitAfter(deps, d, nil)
+	return m.NVMeQ.SubmitAfter(deps, d, m.xferDone("nvme", bytes))
 }
 
 // NVMeWrite schedules an asynchronous write of the given size from host
 // memory to NVMe.
 func (m *Machine) NVMeWrite(bytes int64, deps []*sim.Signal) *sim.Signal {
 	d := m.Spec.NVMe.LatencyNS + sim.Time(float64(bytes)/m.Spec.NVMe.WriteBW*1e9)
-	return m.NVMeQ.SubmitAfter(deps, d, nil)
+	return m.NVMeQ.SubmitAfter(deps, d, m.xferDone("nvme", bytes))
 }
 
 // NetSend schedules a transfer of the given size out of this node's
 // NIC.
 func (m *Machine) NetSend(bytes int64, deps []*sim.Signal) *sim.Signal {
 	d := m.Spec.Net.LatencyNS + sim.Time(float64(bytes)/m.Spec.Net.BandwidthPerLink*1e9)
-	return m.NIC.SubmitAfter(deps, d, nil)
+	return m.NIC.SubmitAfter(deps, d, m.xferDone("nic", bytes))
 }
 
 // CPUTask schedules compute-bound work (flops) on the CPU pool using

@@ -1,0 +1,41 @@
+package metrics
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzExposition drives the parser with arbitrary input and checks the
+// canonical-export fixed point: anything ParseExposition accepts must
+// re-export to bytes that parse back to the identical export. The seed
+// corpus under testdata/fuzz/FuzzExposition covers every family kind,
+// escaping, and non-canonical spellings.
+func FuzzExposition(f *testing.F) {
+	f.Add([]byte("# HELP a counts things\n# TYPE a counter\na 1\n"))
+	f.Add([]byte("# TYPE g gauge\ng{x=\"1\"} 2.5\ng{x=\"2\"} -0.25\n"))
+	f.Add([]byte("# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n"))
+	f.Add([]byte("# TYPE e counter\ne{k=\"a\\\\b\\\"c\\nd\"} 7\n"))
+	f.Add([]byte("# TYPE w gauge\nw{b=\"2\",a=\"1\"}   1e3\n"))
+	f.Add([]byte("# TYPE n gauge\nn NaN\n# TYPE i gauge\ni -Inf\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reg, err := ParseExposition(data)
+		if err != nil {
+			return // rejected input is fine; we only pin accepted input
+		}
+		var first bytes.Buffer
+		if err := reg.WriteText(&first); err != nil {
+			t.Fatalf("exporting accepted input: %v", err)
+		}
+		reg2, err := ParseExposition(first.Bytes())
+		if err != nil {
+			t.Fatalf("canonical export does not re-parse: %v\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := reg2.WriteText(&second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("export∘parse is not a fixed point:\n--- first ---\n%s--- second ---\n%s", first.Bytes(), second.Bytes())
+		}
+	})
+}

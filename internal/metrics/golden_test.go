@@ -1,0 +1,100 @@
+// Golden-fixture tests live in an external test package so they can
+// drive the real core engine (importing core from an internal metrics
+// test file would be an import cycle).
+package metrics_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stronghold/internal/core"
+	"stronghold/internal/hw"
+	"stronghold/internal/metrics"
+	"stronghold/internal/modelcfg"
+	"stronghold/internal/perf"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenCollector runs one small, fast training simulation and returns
+// its collector. The config is deliberately tiny so the fixtures stay
+// reviewable.
+func goldenCollector(t *testing.T) *metrics.Collector {
+	t.Helper()
+	cfg := modelcfg.NewConfig(10, 1024, 16)
+	e := core.NewEngine(perf.NewModel(cfg, hw.V100Platform()))
+	mc := metrics.New()
+	e.Metrics = mc
+	res := e.Run(2, nil)
+	if res.OOM {
+		t.Fatalf("golden config must fit: %s", res.OOMDetail)
+	}
+	if res.MetricSamples == 0 {
+		t.Fatal("golden run recorded no samples")
+	}
+	return mc
+}
+
+// TestGoldenExports pins all three export formats of a canonical small
+// run to checked-in fixtures. Run with -update after an intentional
+// format or instrumentation change; CI's drift job regenerates the
+// fixtures and fails on any uncommitted diff.
+func TestGoldenExports(t *testing.T) {
+	mc := goldenCollector(t)
+	for _, tc := range []struct {
+		file  string
+		write func(*bytes.Buffer) error
+	}{
+		{"small_run.prom", func(b *bytes.Buffer) error { return mc.WritePrometheus(b) }},
+		{"small_run.json", func(b *bytes.Buffer) error { return mc.WriteJSON(b) }},
+		{"small_run.csv", func(b *bytes.Buffer) error { return mc.WriteCSV(b) }},
+	} {
+		t.Run(tc.file, func(t *testing.T) {
+			var got bytes.Buffer
+			if err := tc.write(&got); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", tc.file)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Errorf("%s drifted from golden (%d vs %d bytes); run go test ./internal/metrics -update if intentional",
+					tc.file, got.Len(), len(want))
+			}
+		})
+	}
+}
+
+// TestGoldenPrometheusRoundTrips asserts the checked-in Prometheus
+// fixture is a fixed point of export∘parse — the property FuzzExposition
+// explores from arbitrary inputs, pinned here on a real document.
+func TestGoldenPrometheusRoundTrips(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden", "small_run.prom"))
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	reg, err := metrics.ParseExposition(data)
+	if err != nil {
+		t.Fatalf("parsing golden exposition: %v", err)
+	}
+	var out bytes.Buffer
+	if err := reg.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Error("golden exposition is not a parse/export fixed point")
+	}
+}

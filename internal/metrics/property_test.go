@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// histFrom builds a histogram from an observation list.
+func histFrom(obs []int64) *Histogram {
+	h := &Histogram{}
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	return h
+}
+
+// TestHistogramMergeAssociative is the testing/quick pin on the
+// integer-arithmetic design decision: merge must be exactly
+// associative, (a⊕b)⊕c == a⊕(b⊕c), including the wrapping sum.
+func TestHistogramMergeAssociative(t *testing.T) {
+	prop := func(a, b, c []int64) bool {
+		left := histFrom(a)
+		left.Merge(histFrom(b))
+		left.Merge(histFrom(c))
+
+		bc := histFrom(b)
+		bc.Merge(histFrom(c))
+		right := histFrom(a)
+		right.Merge(bc)
+
+		return *left == *right
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHistogramMergeCommutative rides along: a⊕b == b⊕a exactly.
+func TestHistogramMergeCommutative(t *testing.T) {
+	prop := func(a, b []int64) bool {
+		ab := histFrom(a)
+		ab.Merge(histFrom(b))
+		ba := histFrom(b)
+		ba.Merge(histFrom(a))
+		return *ab == *ba
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuantileMonotone checks Quantile is monotone non-decreasing in q
+// for arbitrary observation sets and arbitrary (even unordered,
+// out-of-range) quantile pairs.
+func TestQuantileMonotone(t *testing.T) {
+	prop := func(obs []int64, q1, q2 float64) bool {
+		h := histFrom(obs)
+		lo, hi := q1, q2
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return h.Quantile(lo) <= h.Quantile(hi)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuantileWithinBounds: for non-empty histograms the quantile is
+// always a real bucket bound covering at least one observation.
+func TestQuantileWithinBounds(t *testing.T) {
+	prop := func(obs []int64, q float64) bool {
+		if len(obs) == 0 {
+			return histFrom(obs).Quantile(q) == 0
+		}
+		h := histFrom(obs)
+		got := h.Quantile(q)
+		for i := 0; i < histBuckets; i++ {
+			if BucketBound(i) == got {
+				return h.counts[i] > 0 || got == BucketBound(histBuckets-1)
+			}
+		}
+		return false
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBucketOfBounds pins the bucket function: every value lands in the
+// bucket whose bound covers it, and (past the first bucket) the
+// previous bound does not.
+func TestBucketOfBounds(t *testing.T) {
+	prop := func(v int64) bool {
+		i := bucketOf(v)
+		if i < 0 || i >= histBuckets {
+			return false
+		}
+		if v > BucketBound(i) {
+			return false
+		}
+		if i > 0 && v > 1 && v <= BucketBound(i-1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Pin the edges quick may not draw.
+	for _, tc := range []struct {
+		v    int64
+		want int
+	}{
+		{math.MinInt64, 0}, {-1, 0}, {0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3},
+		{math.MaxInt64, histBuckets - 1},
+	} {
+		if got := bucketOf(tc.v); got != tc.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	if BucketBound(histBuckets-1) != math.MaxInt64 {
+		t.Error("overflow bucket bound is not MaxInt64")
+	}
+}

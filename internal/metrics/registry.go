@@ -1,0 +1,287 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind classifies a metric family.
+type Kind int
+
+// Family kinds, mirroring the Prometheus exposition types we emit.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the exposition-format type keyword.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Registry is the canonical, export-ready snapshot form of a metric
+// set: families sorted by name, series sorted by label string. It is
+// both what Collector.Snapshot produces and what ParseExposition
+// returns, so export→parse→export is a fixed point by construction.
+type Registry struct {
+	Families []*Family
+}
+
+// Family is one named metric family.
+type Family struct {
+	Name   string
+	Help   string // optional one-line help text
+	Kind   Kind
+	Series []Series
+}
+
+// Series is one labeled instance of a family. Label is the canonical
+// rendered label set ("" for none; otherwise `k1="v1",k2="v2"` with
+// keys sorted and values escaped).
+type Series struct {
+	Label string
+	Value float64   // counter/gauge value
+	Hist  *HistData // histogram payload (nil for counter/gauge)
+}
+
+// HistData is the exported form of a histogram: cumulative buckets in
+// ascending upper-bound order, ending at +Inf.
+type HistData struct {
+	Buckets []Bucket
+	Sum     float64
+	Count   uint64
+}
+
+// Bucket is one cumulative histogram bucket.
+type Bucket struct {
+	LE  float64 // upper bound (+Inf for the last)
+	Cum uint64  // observations <= LE
+}
+
+// formatValue renders a float64 in the canonical shortest round-trip
+// form ("+Inf"/"-Inf"/"NaN" for the non-finite values).
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabelValue applies the exposition-format label escapes.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// CanonicalLabel renders one key/value pair in canonical form.
+func CanonicalLabel(key, value string) string {
+	return key + `="` + escapeLabelValue(value) + `"`
+}
+
+// sortRegistry puts families and series into canonical order.
+func (r *Registry) sort() {
+	sort.Slice(r.Families, func(i, j int) bool { return r.Families[i].Name < r.Families[j].Name })
+	for _, f := range r.Families {
+		series := f.Series
+		sort.Slice(series, func(i, j int) bool { return series[i].Label < series[j].Label })
+	}
+}
+
+// seriesName renders `name` or `name{label}`.
+func seriesName(name, label string) string {
+	if label == "" {
+		return name
+	}
+	return name + "{" + label + "}"
+}
+
+// bucketSeries renders `name_bucket{label,le="bound"}` with le last, as
+// the canonical writer emits it.
+func bucketSeries(name, label string, le float64) string {
+	pairs := label
+	if pairs != "" {
+		pairs += ","
+	}
+	pairs += `le="` + formatValue(le) + `"`
+	return name + "_bucket{" + pairs + "}"
+}
+
+// WriteText writes the registry in Prometheus text exposition format.
+// The output is canonical: families sorted by name (HELP line when
+// present, then TYPE, then series sorted by label), shortest
+// round-trip float formatting, histogram buckets cumulative and
+// ascending with a final +Inf. ParseExposition inverts it exactly.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.sort()
+	for _, f := range r.Families {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, f.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, s := range f.Series {
+			if f.Kind == KindHistogram {
+				if err := writeHistSeries(w, f.Name, s); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", seriesName(f.Name, s.Label), formatValue(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistSeries(w io.Writer, name string, s Series) error {
+	h := s.Hist
+	if h == nil {
+		return fmt.Errorf("metrics: histogram series %s has no data", seriesName(name, s.Label))
+	}
+	for _, b := range h.Buckets {
+		if _, err := fmt.Fprintf(w, "%s %d\n", bucketSeries(name, s.Label, b.LE), b.Cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n", seriesName(name+"_sum", s.Label), formatValue(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", seriesName(name+"_count", s.Label), h.Count)
+	return err
+}
+
+// Validate checks the structural invariants the parser relies on:
+// non-empty sorted-unique families, well-formed names, histogram
+// buckets strictly ascending and cumulative with a final +Inf bound
+// whose count equals the series count, and no family name colliding
+// with another histogram family's _bucket/_sum/_count series names.
+func (r *Registry) Validate() error {
+	r.sort()
+	names := make(map[string]bool, len(r.Families))
+	for _, f := range r.Families {
+		if !validMetricName(f.Name) {
+			return fmt.Errorf("metrics: invalid family name %q", f.Name)
+		}
+		if names[f.Name] {
+			return fmt.Errorf("metrics: duplicate family %q", f.Name)
+		}
+		names[f.Name] = true
+		if strings.ContainsRune(f.Help, '\n') {
+			return fmt.Errorf("metrics: family %q help spans lines", f.Name)
+		}
+		seen := make(map[string]bool, len(f.Series))
+		for _, s := range f.Series {
+			if seen[s.Label] {
+				return fmt.Errorf("metrics: duplicate series %s", seriesName(f.Name, s.Label))
+			}
+			seen[s.Label] = true
+			if f.Kind != KindHistogram {
+				if s.Hist != nil {
+					return fmt.Errorf("metrics: %s %s carries histogram data", f.Kind, seriesName(f.Name, s.Label))
+				}
+				continue
+			}
+			if err := s.Hist.validate(seriesName(f.Name, s.Label)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, f := range r.Families {
+		if f.Kind != KindHistogram {
+			continue
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if names[f.Name+suffix] {
+				return fmt.Errorf("metrics: family %q collides with histogram %q series", f.Name+suffix, f.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func (h *HistData) validate(series string) error {
+	if h == nil || len(h.Buckets) == 0 {
+		return fmt.Errorf("metrics: histogram %s has no buckets", series)
+	}
+	var prev float64 = math.Inf(-1)
+	var prevCum uint64
+	for _, b := range h.Buckets {
+		if math.IsNaN(b.LE) || b.LE <= prev {
+			return fmt.Errorf("metrics: histogram %s buckets not strictly ascending", series)
+		}
+		if b.Cum < prevCum {
+			return fmt.Errorf("metrics: histogram %s cumulative counts decrease", series)
+		}
+		prev, prevCum = b.LE, b.Cum
+	}
+	last := h.Buckets[len(h.Buckets)-1]
+	if !math.IsInf(last.LE, 1) {
+		return fmt.Errorf("metrics: histogram %s missing +Inf bucket", series)
+	}
+	if last.Cum != h.Count {
+		return fmt.Errorf("metrics: histogram %s count %d != +Inf bucket %d", series, h.Count, last.Cum)
+	}
+	return nil
+}
+
+// validMetricName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelKey reports whether s matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelKey(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}

@@ -147,6 +147,27 @@ type IterationResult struct {
 	// PlanOps is the length of the validated schedule IR one iteration
 	// executes (zero for engines that do not run on plans yet).
 	PlanOps uint64
+	// Util holds end-of-run busy fractions per simulated resource. It is
+	// derived from counters the engine maintains unconditionally, so it
+	// is populated whether or not a metrics collector is installed.
+	Util ResourceUtil
+	// MetricSamples counts timeline points the installed metrics
+	// collector recorded (zero with metrics off) — a cheap determinism
+	// fingerprint for the metrics subsystem itself.
+	MetricSamples uint64
+}
+
+// ResourceUtil is the per-resource busy fraction over a whole run:
+// busy virtual time divided by elapsed virtual time (SM-capacity
+// fraction for Compute, mean across workers for CPU). A plain
+// comparable struct so IterationResult stays usable with ==.
+type ResourceUtil struct {
+	Compute float64
+	H2D     float64
+	D2H     float64
+	CPU     float64
+	NVMe    float64
+	NIC     float64
 }
 
 // Throughput returns training samples processed per second for the

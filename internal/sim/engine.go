@@ -54,6 +54,7 @@ type Engine struct {
 	seq     uint64
 	pending eventHeap
 	steps   uint64
+	obs     Observer // instrumentation tap; nil = observation off
 }
 
 // NewEngine returns an engine with the clock at zero.

@@ -1,0 +1,35 @@
+package sim
+
+// Observer receives instrumentation callbacks from every primitive
+// built on an Engine — Resources (and therefore Pools, whose workers
+// are Resources) and SharedProcessors. It is the simulator's
+// observability tap: internal/metrics implements it to build the
+// virtual-time counter/gauge/timeline layer.
+//
+// Contract: observer methods are pure sinks. They must not schedule
+// events, mutate simulation state, or consult anything but their
+// arguments — a collector that perturbed the event queue would change
+// the very run it measures. With no observer installed (the default)
+// every code path is byte-for-byte identical to an engine that never
+// had the hook, the same zero-overhead discipline Resource.SetStretch
+// established.
+type Observer interface {
+	// ResourceTask fires synchronously at submission time of every
+	// Resource task with the task's resolved span: submit is the virtual
+	// time the task was enqueued, start when it claims the resource
+	// (start-submit is its queue wait) and end its completion.
+	ResourceTask(resource string, submit, start, end Time)
+	// ProcTask fires when a SharedProcessor task completes: start/end is
+	// the task's span and active the number of tasks still running after
+	// this completion.
+	ProcTask(proc string, start, end Time, active int)
+}
+
+// SetObserver installs obs on the engine; every Resource, Pool worker
+// and SharedProcessor created on this engine reports to it. nil (the
+// default) disables observation entirely.
+func (e *Engine) SetObserver(obs Observer) { e.obs = obs }
+
+// Observer returns the installed observer (nil when observation is
+// off).
+func (e *Engine) Observer() Observer { return e.obs }

@@ -73,7 +73,8 @@ func (r *Resource) Submit(duration Time, done func(start, end Time)) Time {
 		panic(fmt.Sprintf("sim: resource %s got negative duration %d", r.name, duration))
 	}
 	duration = r.jittered(duration)
-	start := max(r.eng.Now(), r.busyUntil)
+	submit := r.eng.Now()
+	start := max(submit, r.busyUntil)
 	end := start + duration
 	if r.stretch != nil {
 		if s := r.stretch(start, duration); s > end {
@@ -83,6 +84,9 @@ func (r *Resource) Submit(duration Time, done func(start, end Time)) Time {
 	r.busyUntil = end
 	r.busyTotal += end - start
 	r.tasks++
+	if o := r.eng.obs; o != nil {
+		o.ResourceTask(r.name, submit, start, end)
+	}
 	if done != nil {
 		r.eng.At(end, func() { done(start, end) })
 	}

@@ -104,6 +104,9 @@ func (sp *SharedProcessor) reschedule() {
 	sp.active = kept
 	now := sp.eng.Now()
 	for _, t := range finished {
+		if o := sp.eng.obs; o != nil {
+			o.ProcTask(sp.name, t.started, now, len(sp.active))
+		}
 		if t.onDone != nil {
 			t.onDone(t.started, now)
 		}
