@@ -357,5 +357,8 @@ func DefaultAnalyzers() []*Analyzer {
 		WallClock,
 		SeedFlow,
 		ErrDrop,
+		Partition,
+		SyncScope,
+		MergePure,
 	}
 }

@@ -270,6 +270,7 @@ func TestDefaultAnalyzers(t *testing.T) {
 	want := []string{
 		"simtime", "enginepure", "droppedsignal", "bufdiscipline", "anystyle",
 		"maporder", "wallclock", "seedflow", "errdrop",
+		"partition", "syncscope", "mergepure",
 	}
 	got := DefaultAnalyzers()
 	if len(got) != len(want) {

@@ -1,0 +1,654 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file is the concurrency-boundary registry: the declarative
+// contract under which the future parallel engine is allowed to use
+// goroutines, channels and locks at all. The contract has two halves:
+//
+//   - annotations: a `//vet:boundary <name>` comment places a file (or,
+//     when it sits in a function's doc comment or body, a single
+//     declaration) inside the named boundary;
+//   - the registry: a BOUNDARY.md file next to the code declares which
+//     boundary names exist, which types each boundary owns, which
+//     functions are sanctioned merge points where owned values may
+//     cross, which locks the boundary code may take, and the global
+//     order those locks must be acquired in.
+//
+// The registry is parsed out of fenced code blocks whose info string is
+// `vet:boundaries`. Inside a block, `#` starts a comment and each line
+// is one declaration:
+//
+//	boundary <name> <free-form description>
+//	owns <boundary> <pkg>.<Type>
+//	merge <boundary> <pkg>.<Func> | <pkg>.<Type>.<Method>
+//	lock <boundary> <lock-id>
+//	lockorder <lock-id> < <lock-id> [< <lock-id> ...]
+//
+// <pkg> matches a loaded package whose import path equals it or ends in
+// "/<pkg>" (the same suffix convention the engine-type table uses), so
+// the registry survives a module rename. A <lock-id> is `Type.field`
+// for a mutex struct field, `Type` for an embedded mutex, or a bare
+// name for a package-level mutex variable.
+//
+// The rules built on top: enginepure exempts declared-boundary files
+// from its concurrency bans, partition polices owned-type escapes,
+// syncscope validates the registry, the annotations and the lock
+// order, and mergepure holds the declared merge functions to the
+// determinism closures.
+
+// boundaryMarker is the annotation comment prefix.
+const boundaryMarker = "//vet:boundary"
+
+// registryName is the file each package directory may carry.
+const registryName = "BOUNDARY.md"
+
+// registryFence opens a machine-read block inside the registry file.
+const registryFence = "```vet:boundaries"
+
+// Boundary is one declared concurrency boundary.
+type Boundary struct {
+	Name string
+	Doc  string
+	Pos  token.Position // declaration line in the registry file
+}
+
+// OwnedType is one `owns` entry: values of Qual.Name belong to the
+// boundary and may not escape it except through declared merges.
+type OwnedType struct {
+	Boundary string
+	Qual     string // package suffix
+	Name     string // type name
+	Pos      token.Position
+}
+
+// MergeFunc is one `merge` entry: the sanctioned crossing point for
+// the boundary's owned values. Type is empty for package-level
+// functions.
+type MergeFunc struct {
+	Boundary string
+	Qual     string
+	Type     string // receiver type name, "" for plain functions
+	Name     string
+	Pos      token.Position
+}
+
+// LockDecl is one `lock` entry: a mutex that boundary code may take.
+type LockDecl struct {
+	Boundary string
+	ID       string
+	Pos      token.Position
+}
+
+// Registry is every declaration parsed from the module's BOUNDARY.md
+// files, plus the parse/consistency errors found on the way (reported
+// by syncscope, so a broken registry fails the gate rather than
+// silently disabling it).
+type Registry struct {
+	Boundaries map[string]*Boundary
+	Owns       []OwnedType
+	Merges     []MergeFunc
+	Locks      map[string]LockDecl
+	// order[a][b] means a must be acquired before b (declared edges
+	// only; orderReachable answers the transitive question).
+	order  map[string]map[string]bool
+	Errors []Diagnostic
+	Files  []string // registry files parsed, sorted
+}
+
+// Empty reports whether no boundary is declared anywhere.
+func (r *Registry) Empty() bool { return len(r.Boundaries) == 0 }
+
+// Declared reports whether name is a declared boundary.
+func (r *Registry) Declared(name string) bool {
+	_, ok := r.Boundaries[name]
+	return ok
+}
+
+// BoundaryNames returns the declared names, sorted.
+func (r *Registry) BoundaryNames() []string {
+	names := make([]string, 0, len(r.Boundaries))
+	for name := range r.Boundaries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// parseRegistryFile parses one BOUNDARY.md into r.
+func (r *Registry) parseRegistryFile(path string, src []byte) {
+	errf := func(line int, format string, args ...any) {
+		r.Errors = append(r.Errors, Diagnostic{
+			Pos:     token.Position{Filename: path, Line: line, Column: 1},
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	inBlock := false
+	for i, raw := range strings.Split(string(src), "\n") {
+		lineNo := i + 1
+		line := strings.TrimSpace(raw)
+		switch {
+		case !inBlock && line == registryFence:
+			inBlock = true
+			continue
+		case inBlock && strings.HasPrefix(line, "```"):
+			inBlock = false
+			continue
+		case !inBlock:
+			continue
+		}
+		if idx := strings.Index(line, "#"); idx >= 0 {
+			line = strings.TrimSpace(line[:idx])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		pos := token.Position{Filename: path, Line: lineNo, Column: 1}
+		switch fields[0] {
+		case "boundary":
+			if len(fields) < 2 {
+				errf(lineNo, "boundary line needs a name: `boundary <name> <description>`")
+				continue
+			}
+			name := fields[1]
+			if prev, ok := r.Boundaries[name]; ok {
+				errf(lineNo, "boundary %q already declared at %s:%d", name, prev.Pos.Filename, prev.Pos.Line)
+				continue
+			}
+			r.Boundaries[name] = &Boundary{Name: name, Doc: strings.Join(fields[2:], " "), Pos: pos}
+		case "owns":
+			if len(fields) != 3 {
+				errf(lineNo, "owns line needs `owns <boundary> <pkg>.<Type>`")
+				continue
+			}
+			qual, typeName, method, ok := splitQualified(fields[2])
+			if !ok || method != "" {
+				errf(lineNo, "owns target %q is not a <pkg>.<Type> reference", fields[2])
+				continue
+			}
+			r.Owns = append(r.Owns, OwnedType{Boundary: fields[1], Qual: qual, Name: typeName, Pos: pos})
+		case "merge":
+			if len(fields) != 3 {
+				errf(lineNo, "merge line needs `merge <boundary> <pkg>.<Func>`")
+				continue
+			}
+			qual, name, method, ok := splitQualified(fields[2])
+			if !ok {
+				errf(lineNo, "merge target %q is not a <pkg>.<Func> or <pkg>.<Type>.<Method> reference", fields[2])
+				continue
+			}
+			m := MergeFunc{Boundary: fields[1], Qual: qual, Name: name, Pos: pos}
+			if method != "" {
+				m.Type, m.Name = name, method
+			}
+			r.Merges = append(r.Merges, m)
+		case "lock":
+			if len(fields) != 3 {
+				errf(lineNo, "lock line needs `lock <boundary> <lock-id>`")
+				continue
+			}
+			id := fields[2]
+			if prev, ok := r.Locks[id]; ok {
+				errf(lineNo, "lock %q already declared at %s:%d", id, prev.Pos.Filename, prev.Pos.Line)
+				continue
+			}
+			r.Locks[id] = LockDecl{Boundary: fields[1], ID: id, Pos: pos}
+		case "lockorder":
+			rest := strings.Join(fields[1:], " ")
+			ids := strings.Split(rest, "<")
+			if len(ids) < 2 {
+				errf(lineNo, "lockorder line needs `lockorder <lock-id> < <lock-id>`")
+				continue
+			}
+			for j := range ids {
+				ids[j] = strings.TrimSpace(ids[j])
+				if ids[j] == "" {
+					errf(lineNo, "lockorder line has an empty lock id")
+				}
+			}
+			for j := 0; j+1 < len(ids); j++ {
+				if ids[j] == "" || ids[j+1] == "" {
+					continue
+				}
+				if r.order[ids[j]] == nil {
+					r.order[ids[j]] = make(map[string]bool)
+				}
+				r.order[ids[j]][ids[j+1]] = true
+			}
+		default:
+			errf(lineNo, "unknown registry directive %q (want boundary/owns/merge/lock/lockorder)", fields[0])
+		}
+	}
+	if inBlock {
+		errf(strings.Count(string(src), "\n")+1, "unterminated %s block", registryFence)
+	}
+}
+
+// validate cross-checks references after every file is parsed.
+func (r *Registry) validate() {
+	refErr := func(pos token.Position, kind, boundary string) {
+		r.Errors = append(r.Errors, Diagnostic{
+			Pos:     pos,
+			Message: fmt.Sprintf("%s entry references undeclared boundary %q", kind, boundary),
+		})
+	}
+	for _, o := range r.Owns {
+		if !r.Declared(o.Boundary) {
+			refErr(o.Pos, "owns", o.Boundary)
+		}
+	}
+	for _, m := range r.Merges {
+		if !r.Declared(m.Boundary) {
+			refErr(m.Pos, "merge", m.Boundary)
+		}
+	}
+	ids := make([]string, 0, len(r.Locks))
+	for id := range r.Locks {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if l := r.Locks[id]; !r.Declared(l.Boundary) {
+			refErr(l.Pos, "lock", l.Boundary)
+		}
+	}
+	// Every lockorder id must be a declared lock, and the declared
+	// order must be acyclic — a cyclic declaration would "justify" any
+	// deadlock.
+	var froms []string
+	for from := range r.order {
+		froms = append(froms, from)
+	}
+	sort.Strings(froms)
+	for _, from := range froms {
+		for _, to := range sortedKeys(r.order[from]) {
+			for _, id := range []string{from, to} {
+				if _, ok := r.Locks[id]; !ok {
+					r.Errors = append(r.Errors, Diagnostic{
+						Pos:     r.registryPos(),
+						Message: fmt.Sprintf("lockorder references undeclared lock %q (add a `lock` line)", id),
+					})
+				}
+			}
+			if r.orderReachable(to, from) {
+				r.Errors = append(r.Errors, Diagnostic{
+					Pos:     r.registryPos(),
+					Message: fmt.Sprintf("declared lock order is cyclic: %q < %q but %q is already ordered before %q", from, to, to, from),
+				})
+			}
+		}
+	}
+}
+
+// registryPos is a stable fallback position for whole-registry errors.
+func (r *Registry) registryPos() token.Position {
+	if len(r.Files) > 0 {
+		return token.Position{Filename: r.Files[0], Line: 1, Column: 1}
+	}
+	return token.Position{Filename: registryName, Line: 1, Column: 1}
+}
+
+// orderReachable reports whether the declared order forces a before b
+// (transitively).
+func (r *Registry) orderReachable(a, b string) bool {
+	seen := map[string]bool{a: true}
+	queue := []string{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if r.order[cur][b] {
+			return true
+		}
+		for _, next := range sortedKeys(r.order[cur]) {
+			if !seen[next] {
+				seen[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return false
+}
+
+// OwnedBoundary walks t's structure and returns the boundary owning
+// the first registered type found (plus its display name), or "".
+func (r *Registry) OwnedBoundary(t types.Type) (boundary, typeName string) {
+	if len(r.Owns) == 0 {
+		return "", ""
+	}
+	var walk func(types.Type, map[types.Type]bool) bool
+	walk = func(t types.Type, seen map[types.Type]bool) bool {
+		if t == nil || seen[t] {
+			return false
+		}
+		seen[t] = true
+		switch u := t.(type) {
+		case *types.Named:
+			if obj := u.Obj(); obj != nil && obj.Pkg() != nil {
+				for _, o := range r.Owns {
+					if o.Name == obj.Name() && pathMatchesQual(obj.Pkg().Path(), o.Qual) {
+						boundary, typeName = o.Boundary, o.Qual+"."+o.Name
+						return true
+					}
+				}
+			}
+			return walk(u.Underlying(), seen)
+		case *types.Pointer:
+			return walk(u.Elem(), seen)
+		case *types.Slice:
+			return walk(u.Elem(), seen)
+		case *types.Array:
+			return walk(u.Elem(), seen)
+		case *types.Map:
+			return walk(u.Key(), seen) || walk(u.Elem(), seen)
+		case *types.Chan:
+			return walk(u.Elem(), seen)
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if walk(u.Field(i).Type(), seen) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	walk(t, make(map[types.Type]bool))
+	return boundary, typeName
+}
+
+// MergeFor reports whether fn is a declared merge function for the
+// given boundary.
+func (r *Registry) MergeFor(fn *types.Func, boundary string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	for _, m := range r.Merges {
+		if m.Boundary != boundary || m.Name != fn.Name() || !pathMatchesQual(fn.Pkg().Path(), m.Qual) {
+			continue
+		}
+		if recvTypeName(fn) == m.Type {
+			return true
+		}
+	}
+	return false
+}
+
+// IsMerge reports whether fn is a declared merge function for any
+// boundary.
+func (r *Registry) IsMerge(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	for _, m := range r.Merges {
+		if m.Name == fn.Name() && recvTypeName(fn) == m.Type && pathMatchesQual(fn.Pkg().Path(), m.Qual) {
+			return true
+		}
+	}
+	return false
+}
+
+// recvTypeName is fn's receiver type name ("" for plain functions).
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// pathMatchesQual reports whether an import path is named by a
+// registry qualifier: equal, or ending in "/<qual>".
+func pathMatchesQual(path, qual string) bool {
+	return path == qual || strings.HasSuffix(path, "/"+qual)
+}
+
+// splitQualified parses `pkg.Name` / `pkg.Type.Method` (pkg may
+// contain slashes; the dots counted are those after the last slash).
+func splitQualified(s string) (qual, name, method string, ok bool) {
+	slash := strings.LastIndex(s, "/")
+	prefix, rest := "", s
+	if slash >= 0 {
+		prefix, rest = s[:slash+1], s[slash+1:]
+	}
+	parts := strings.Split(rest, ".")
+	for _, p := range parts {
+		if p == "" {
+			return "", "", "", false
+		}
+	}
+	switch len(parts) {
+	case 2:
+		return prefix + parts[0], parts[1], "", true
+	case 3:
+		return prefix + parts[0], parts[1], parts[2], true
+	}
+	return "", "", "", false
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// annotation is one parsed //vet:boundary marker.
+type annotation struct {
+	name string
+	pos  token.Position
+	tok  token.Pos
+}
+
+// BoundarySet resolves boundary membership for the loaded module: the
+// merged registry plus every annotation, indexed by file and by
+// declared function.
+type BoundarySet struct {
+	Reg *Registry
+	// fileOf maps each annotated file to its boundary name (raw — the
+	// name may be undeclared; callers that need validity check Reg).
+	fileOf map[*ast.File]string
+	// declOf maps individually-annotated functions (marker in the doc
+	// comment or body) to their boundary name.
+	declOf map[*types.Func]string
+	// markers is every annotation in position order, for syncscope's
+	// undeclared-name audit.
+	markers []annotation
+	// conflicts are files carrying two different file-level markers.
+	conflicts []Diagnostic
+	exported  bool
+}
+
+// Bounds builds (once) the module's boundary set: registries from
+// every loaded package directory plus all annotations.
+func (m *Module) Bounds() *BoundarySet {
+	if m.bounds != nil {
+		return m.bounds
+	}
+	reg := &Registry{
+		Boundaries: make(map[string]*Boundary),
+		Locks:      make(map[string]LockDecl),
+		order:      make(map[string]map[string]bool),
+	}
+	seenDir := make(map[string]bool)
+	for _, pkg := range m.Pkgs { // sorted by path → deterministic
+		if pkg.Dir == "" || seenDir[pkg.Dir] {
+			continue
+		}
+		seenDir[pkg.Dir] = true
+		path := filepath.Join(pkg.Dir, registryName)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		reg.Files = append(reg.Files, path)
+		reg.parseRegistryFile(path, src)
+	}
+	sort.Strings(reg.Files)
+	reg.validate()
+
+	bs := &BoundarySet{
+		Reg:    reg,
+		fileOf: make(map[*ast.File]string),
+		declOf: make(map[*types.Func]string),
+	}
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			bs.collectFile(m.Fset, pkg, f)
+		}
+	}
+	sort.Slice(bs.markers, func(i, j int) bool {
+		a, b := bs.markers[i].pos, bs.markers[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	m.bounds = bs
+	return bs
+}
+
+// collectFile parses one file's //vet:boundary markers. A marker
+// inside a function declaration (doc comment or body) scopes to that
+// declaration; any other position scopes to the whole file.
+func (bs *BoundarySet) collectFile(fset *token.FileSet, pkg *Package, f *ast.File) {
+	type declSpan struct {
+		fn   *types.Func
+		from token.Pos
+		to   token.Pos
+	}
+	var spans []declSpan
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		from := fd.Pos()
+		if fd.Doc != nil {
+			from = fd.Doc.Pos()
+		}
+		spans = append(spans, declSpan{fn: fn, from: from, to: fd.End()})
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, boundaryMarker) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, boundaryMarker))
+			fields := strings.Fields(rest)
+			name := ""
+			if len(fields) > 0 {
+				name = fields[0]
+			}
+			ann := annotation{name: name, pos: fset.Position(c.Pos()), tok: c.Pos()}
+			bs.markers = append(bs.markers, ann)
+			if name == "" {
+				continue // syncscope reports the empty marker
+			}
+			scoped := false
+			for _, s := range spans {
+				if c.Pos() >= s.from && c.Pos() < s.to {
+					bs.declOf[s.fn] = name
+					scoped = true
+					break
+				}
+			}
+			if scoped {
+				continue
+			}
+			if prev, ok := bs.fileOf[f]; ok && prev != name {
+				bs.conflicts = append(bs.conflicts, Diagnostic{
+					Pos:     ann.pos,
+					Message: fmt.Sprintf("file already annotated //vet:boundary %s; one file belongs to one boundary", prev),
+				})
+				continue
+			}
+			bs.fileOf[f] = name
+		}
+	}
+}
+
+// FileBoundary returns the file-level boundary name ("" when
+// unannotated).
+func (bs *BoundarySet) FileBoundary(f *ast.File) string { return bs.fileOf[f] }
+
+// FileExempt reports whether f carries a valid (declared) file-level
+// boundary annotation — the condition under which enginepure's
+// concurrency bans stand down.
+func (bs *BoundarySet) FileExempt(f *ast.File) bool {
+	name := bs.fileOf[f]
+	return name != "" && bs.Reg.Declared(name)
+}
+
+// FuncBoundary resolves fn's boundary: a declaration-level annotation
+// wins, then the enclosing file's annotation, then "".
+func (bs *BoundarySet) FuncBoundary(fn *types.Func, file *ast.File) string {
+	if name, ok := bs.declOf[fn]; ok {
+		return name
+	}
+	return bs.fileOf[file]
+}
+
+// EffectiveBoundary is FuncBoundary extended with merge membership:
+// a declared merge function for boundary A is treated as inside A for
+// the values it is sanctioned to merge.
+func (bs *BoundarySet) EffectiveBoundary(fn *types.Func, file *ast.File, owned string) string {
+	if fn != nil && bs.Reg.MergeFor(fn, owned) {
+		return owned
+	}
+	return bs.FuncBoundary(fn, file)
+}
+
+// BoundaryFact marks a function as belonging to a boundary; exported
+// through the fact store so later rules (and future ones) can query
+// membership without re-deriving annotations.
+type BoundaryFact struct{ Name string }
+
+// FactKind implements Fact.
+func (f BoundaryFact) FactKind() string { return "boundary" }
+
+// ExportFacts publishes a BoundaryFact for every function with a
+// non-empty boundary, once.
+func (bs *BoundarySet) ExportFacts(m *Module) {
+	if bs.exported {
+		return
+	}
+	bs.exported = true
+	g := m.Graph()
+	for _, node := range g.Sorted {
+		if b := bs.FuncBoundary(node.Func, fileOfNode(node)); b != "" {
+			m.Facts().Export(node.Func, BoundaryFact{Name: b})
+		}
+	}
+}
+
+// fileOfNode finds the *ast.File containing a call node's declaration.
+func fileOfNode(node *CallNode) *ast.File {
+	for _, f := range node.Pkg.Files {
+		if node.Decl.Pos() >= f.Pos() && node.Decl.Pos() <= f.End() {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPartition(t *testing.T) {
+	loader := newTestLoader(t)
+	runFixture(t, loader, Partition, "partition_bad")
+	runFixture(t, loader, Partition, "partition_clean")
+}
+
+func TestSyncScope(t *testing.T) {
+	loader := newTestLoader(t)
+	runFixture(t, loader, SyncScope, "syncscope_bad")
+	runFixture(t, loader, SyncScope, "syncscope_clean")
+}
+
+func TestMergePure(t *testing.T) {
+	loader := newTestLoader(t)
+	runFixture(t, loader, MergePure, "mergepure_bad")
+	runFixture(t, loader, MergePure, "mergepure_clean")
+}
+
+// TestEngineTransitiveScope: a file that reaches engine state only
+// through a wrapper package's types is engine-owning; its sibling with
+// no engine types keeps its concurrency.
+func TestEngineTransitiveScope(t *testing.T) {
+	loader := newTestLoader(t)
+	runFixtureSet(t, loader, EnginePure, "enginetrans_bad", "enginetrans_helper")
+}
+
+// TestEngineCaptures: bound method values and goroutine-spawning
+// wrapper helpers must not launder an engine capture.
+func TestEngineCaptures(t *testing.T) {
+	loader := newTestLoader(t)
+	runFixtureSet(t, loader, EnginePure, "enginecapture_bad", "enginecapture_helper")
+	runFixtureSet(t, loader, EnginePure, "enginecapture_clean", "enginecapture_helper")
+}
+
+// TestBoundaryRegistryErrors: a broken BOUNDARY.md and broken markers
+// fail the gate with one diagnostic per defect. The expectations live
+// here rather than in `// want` comments because most positions are in
+// the registry file itself.
+func TestBoundaryRegistryErrors(t *testing.T) {
+	loader := newTestLoader(t)
+	pkg := loadFixture(t, loader, "boundaryreg_bad")
+	runner := &Runner{Analyzers: []*Analyzer{SyncScope, MergePure}}
+	res := runner.RunPackages([]*Package{pkg})
+	wants := []string{
+		`boundary "real" already declared`,
+		`owns entry references undeclared boundary "phantom"`,
+		`owns target "badformat" is not a <pkg>.<Type> reference`,
+		`unknown registry directive "sharelock"`,
+		`lockorder references undeclared lock "ghostmu"`,
+		`declared lock order is cyclic`,
+		`merge entry boundaryreg_bad.Missing does not resolve to a declared function`,
+		`references undeclared boundary "ghost"`,
+		`missing a boundary name`,
+		`file already annotated //vet:boundary ghost`,
+	}
+	for _, want := range wants {
+		found := false
+		for _, d := range res.Diags {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic containing %q; got:\n%s", want, renderDiags(res.Diags))
+		}
+	}
+}
+
+func renderDiags(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}
+
+// TestPromoteFix: blanket enginepure findings in a package with a
+// declared registry carry the promote-into-boundary suggested fix, and
+// applying it puts the file inside the boundary.
+func TestPromoteFix(t *testing.T) {
+	loader := newTestLoader(t)
+	pkg := loadFixture(t, loader, "promote_fix")
+	runner := &Runner{Analyzers: []*Analyzer{EnginePure}}
+	diags := runner.Run(pkg)
+	if len(diags) == 0 {
+		t.Fatal("want blanket findings in promote_fix")
+	}
+	for _, d := range diags {
+		if d.Fix == nil {
+			t.Fatalf("finding without suggested fix: %s", d)
+		}
+		if !strings.Contains(d.Fix.Message, "workers") {
+			t.Errorf("fix message %q does not name the declared boundary", d.Fix.Message)
+		}
+	}
+	fixed, err := FixedFiles(diags)
+	if err != nil {
+		t.Fatalf("FixedFiles: %v", err)
+	}
+	if len(fixed) != 1 {
+		t.Fatalf("want exactly 1 fixed file, got %d", len(fixed))
+	}
+	for name, content := range fixed {
+		if !strings.Contains(string(content), "//vet:boundary workers") {
+			t.Errorf("%s after fix lacks the boundary marker:\n%s", name, content)
+		}
+		// The promoted file must actually be exempt on a re-run: write
+		// it to a scratch package and re-analyze.
+		dir, err := os.MkdirTemp(filepath.Join("testdata"), "promoted-")
+		if err != nil {
+			t.Fatalf("MkdirTemp: %v", err)
+		}
+		defer os.RemoveAll(dir)
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(name)), content, 0o644); err != nil {
+			t.Fatalf("writing promoted file: %v", err)
+		}
+		reg, err := os.ReadFile(filepath.Join("testdata", "src", "promote_fix", "BOUNDARY.md"))
+		if err != nil {
+			t.Fatalf("reading fixture registry: %v", err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "BOUNDARY.md"), reg, 0o644); err != nil {
+			t.Fatalf("writing registry: %v", err)
+		}
+		promoted, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("loading promoted package: %v", err)
+		}
+		if again := runner.Run(promoted); len(again) != 0 {
+			t.Errorf("promoted file still reports: %v", again)
+		}
+	}
+}
+
+// TestBoundaryRevert is the acceptance gate in test form: strip the
+// //vet:boundary annotations from a copy of the seeded
+// internal/sim/parallel package and the tree must stop being clean.
+func TestBoundaryRevert(t *testing.T) {
+	loader := newTestLoader(t)
+	src := filepath.Join("..", "sim", "parallel")
+	dir, err := os.MkdirTemp("testdata", "reverted-")
+	if err != nil {
+		t.Fatalf("MkdirTemp: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatalf("reading %s: %v", src, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, name))
+		if err != nil {
+			t.Fatalf("reading %s: %v", name, err)
+		}
+		if strings.HasSuffix(name, ".go") {
+			var kept []string
+			for _, line := range strings.Split(string(data), "\n") {
+				if strings.HasPrefix(strings.TrimSpace(line), "//vet:boundary") {
+					continue // the revert under test
+				}
+				kept = append(kept, line)
+			}
+			data = []byte(strings.Join(kept, "\n"))
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatalf("writing %s: %v", name, err)
+		}
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading reverted package: %v", err)
+	}
+	res := NewRunner().RunPackages([]*Package{pkg})
+	if len(res.Diags) == 0 {
+		t.Fatal("reverting //vet:boundary annotations must make the gate fail, got no diagnostics")
+	}
+	found := false
+	for _, d := range res.Diags {
+		if strings.Contains(d.Message, "engine-owning") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("want an enginepure engine-owning finding after revert; got:\n%s", renderDiags(res.Diags))
+	}
+}
+
+// fixtureHelpers names the helper packages each bad fixture needs for
+// cross-package edges.
+var fixtureHelpers = map[string][]string{
+	"wallclock_bad":     {"wallclock_helper"},
+	"seedflow_bad":      {"seedflow_helper"},
+	"enginetrans_bad":   {"enginetrans_helper"},
+	"enginecapture_bad": {"enginecapture_helper"},
+}
+
+// TestBadFixturesFail mirrors the CI mutation guard: every *_bad
+// fixture package must produce at least one diagnostic under the full
+// default rule set.
+func TestBadFixturesFail(t *testing.T) {
+	loader := newTestLoader(t)
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("reading fixtures: %v", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasSuffix(e.Name(), "_bad") {
+			continue
+		}
+		names := append([]string{e.Name()}, fixtureHelpers[e.Name()]...)
+		var pkgs []*Package
+		for _, name := range names {
+			pkgs = append(pkgs, loadFixture(t, loader, name))
+		}
+		res := NewRunner().RunPackages(pkgs)
+		if len(res.Diags) == 0 {
+			t.Errorf("%s: want at least one diagnostic under the full rule set, got none", e.Name())
+		}
+	}
+}

@@ -14,8 +14,9 @@ type Module struct {
 	Fset *token.FileSet
 	Pkgs []*Package // sorted by import path
 
-	graph *CallGraph
-	facts *FactStore
+	graph  *CallGraph
+	facts  *FactStore
+	bounds *BoundarySet
 }
 
 // NewModule wraps an already-sorted, deduplicated package set.

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MergePure holds the declared merge functions — the only sanctioned
+// crossing points for boundary-owned values — to the determinism
+// closures. A merge runs at a synchronization point of the future
+// parallel engine and folds per-partition state into one result; if
+// its output depends on anything but its (sorted) inputs, the
+// byte-identical trace guarantee dies exactly where the parallelism
+// was supposed to be safe. Composing the existing taint machinery, a
+// merge function must not, directly or through any statically
+// reachable callee:
+//
+//   - iterate a map (the order seeds the merged result) — except the
+//     collect-then-sort idiom, where the range body only appends to a
+//     slice that the caller visibly sorts;
+//   - read the wall clock (time.Now and friends);
+//   - draw from the unseeded global math/rand stream;
+//   - invoke an order-sensitive sink (trace emission, event
+//     scheduling, allocator traffic): a merge computes, the engine
+//     applies.
+//
+// Each finding carries the full call chain from the merge function to
+// the offending operation. Registry entries that name a loaded package
+// but resolve to no declared function are reported too — a typo in
+// BOUNDARY.md must not silently exempt the real merge from scrutiny.
+var MergePure = &Analyzer{
+	Name:      "mergepure",
+	Doc:       "declared merge functions must be deterministic: no map iteration, wall clock, global rand, or order-sensitive sinks",
+	RunModule: runMergePure,
+}
+
+// reachMapIter is the closure name for "transitively iterates a map".
+const reachMapIter = "mapiter"
+
+func runMergePure(pass *ModulePass) {
+	bounds := pass.Module.Bounds()
+	if bounds.Reg.Empty() {
+		return
+	}
+	bounds.ExportFacts(pass.Module)
+	reg := bounds.Reg
+	g := pass.Module.Graph()
+
+	closures := []struct {
+		name  string
+		reach map[*types.Func]Witness
+		what  string
+	}{
+		{reachMapIter, reachClosure(pass.Module, reachMapIter, scanMapIter), "map iteration"},
+		{reachWallClock, reachClosure(pass.Module, reachWallClock, scanWallClock), "wall-clock time"},
+		{reachGlobalRand, reachClosure(pass.Module, reachGlobalRand, scanGlobalRand), "the unseeded global rand stream"},
+		{reachSinkOps, reachClosure(pass.Module, reachSinkOps, scanSinkOps), "an order-sensitive sink"},
+	}
+
+	for _, m := range reg.Merges {
+		fn, node := resolveMerge(g, m)
+		if fn == nil {
+			// Report only when the named package is loaded: registries
+			// for packages outside this run are not this run's problem.
+			for _, pkg := range pass.Pkgs {
+				if pathMatchesQual(pkg.Path, m.Qual) {
+					pass.Report(Diagnostic{Pos: m.Pos,
+						Message: "merge entry " + mergeDisplay(m) + " does not resolve to a declared function in " + pkg.Path})
+					break
+				}
+			}
+			continue
+		}
+		for _, c := range closures {
+			if _, ok := c.reach[fn]; !ok {
+				continue
+			}
+			pass.Report(Diagnostic{
+				Pos: pass.Fset.Position(node.Decl.Name.Pos()),
+				Message: "declared merge " + FuncDisplay(fn) + " reaches " + c.what +
+					": merge results must be a pure function of sorted partition inputs",
+				Related: g.Chain(fn, c.reach),
+			})
+		}
+	}
+}
+
+// resolveMerge finds the declared function a merge entry names.
+func resolveMerge(g *CallGraph, m MergeFunc) (*types.Func, *CallNode) {
+	for _, node := range g.Sorted {
+		fn := node.Func
+		if fn.Name() != m.Name || fn.Pkg() == nil {
+			continue
+		}
+		if !pathMatchesQual(fn.Pkg().Path(), m.Qual) || recvTypeName(fn) != m.Type {
+			continue
+		}
+		return fn, node
+	}
+	return nil, nil
+}
+
+// mergeDisplay renders a merge entry as written in the registry.
+func mergeDisplay(m MergeFunc) string {
+	if m.Type != "" {
+		return m.Qual + "." + m.Type + "." + m.Name
+	}
+	return m.Qual + "." + m.Name
+}
+
+// scanMapIter reports every range over a map under root, except the
+// collect-then-sort idiom: a body that only appends map keys/values to
+// a slice (no other calls, no sends, no goroutines, no field writes)
+// imposes no order on the result — the mandatory sort after it does.
+func scanMapIter(info *types.Info, root ast.Node, report siteFn) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rng.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if collectOnlyBody(info, rng.Body) {
+			return true
+		}
+		report(rng.Pos(), "map iteration")
+		return true
+	})
+}
+
+// collectOnlyBody reports whether a range body only collects into
+// slices: every statement is an `x = append(x, ...)` assignment to a
+// plain variable. Anything else — arithmetic folds, field or element
+// writes, sends, goroutines, non-append calls — makes the iteration
+// order observable and disqualifies the idiom.
+func collectOnlyBody(info *types.Info, body *ast.BlockStmt) bool {
+	isAppend := func(e ast.Expr) bool {
+		call, isCall := unparen(e).(*ast.CallExpr)
+		if !isCall {
+			return false
+		}
+		id, isIdent := unparen(call.Fun).(*ast.Ident)
+		if !isIdent {
+			return false
+		}
+		b, isBuiltin := info.Uses[id].(*types.Builtin)
+		return isBuiltin && b.Name() == "append"
+	}
+	ok := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt, *ast.SendStmt, *ast.DeferStmt, *ast.IncDecStmt:
+			ok = false
+			return false
+		case *ast.AssignStmt:
+			if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+				ok = false
+				return false
+			}
+			for _, lhs := range n.Lhs {
+				switch unparen(lhs).(type) {
+				case *ast.Ident:
+				default:
+					ok = false
+					return false
+				}
+			}
+			for _, rhs := range n.Rhs {
+				if !isAppend(rhs) {
+					ok = false
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if !isAppend(n) {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}

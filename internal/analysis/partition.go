@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Partition is the ownership/escape half of the concurrency-boundary
+// contract: a value whose type is owned by one boundary (an `owns`
+// entry in BOUNDARY.md) may not be stored, captured, or passed across
+// boundaries except through a declared merge function. The future
+// parallel engine's correctness argument is exactly this discipline —
+// each partition's event queue is touched by one goroutine, and owned
+// state crosses only at the sanctioned merge points, where mergepure
+// holds the crossing to the determinism closures.
+//
+// Concretely, with A the boundary owning a type:
+//
+//   - a function outside A whose receiver or parameters carry an owned
+//     type must be a declared merge for A;
+//   - a declared merge's results must be boundary-free — merged output
+//     leaves the boundary, so it may not smuggle owned state out;
+//   - package-level variables and struct fields holding owned types
+//     are legal only in files annotated into A;
+//   - a call in code outside A may pass an owned value only to a
+//     declared merge or into a function annotated into A;
+//   - a goroutine spawned outside A may not capture or receive an
+//     owned value at all.
+//
+// Method calls on an owned receiver are not crossings: the boundary's
+// methods are its API, and they execute under the boundary's own
+// rules. The rule is silent when no registry is declared.
+var Partition = &Analyzer{
+	Name:      "partition",
+	Doc:       "owned boundary types may not be stored, captured or passed across boundaries except through declared merge functions",
+	RunModule: runPartition,
+}
+
+func runPartition(pass *ModulePass) {
+	bounds := pass.Module.Bounds()
+	if bounds.Reg.Empty() {
+		return
+	}
+	bounds.ExportFacts(pass.Module)
+	reg := bounds.Reg
+
+	// Storage checks: package-level variables and struct fields.
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			fileB := bounds.FileBoundary(f)
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					switch spec := spec.(type) {
+					case *ast.ValueSpec:
+						if gd.Tok != token.VAR {
+							continue
+						}
+						for _, name := range spec.Names {
+							obj := pkg.Info.Defs[name]
+							if obj == nil {
+								continue
+							}
+							if owned, disp := reg.OwnedBoundary(obj.Type()); owned != "" && owned != fileB {
+								pass.Reportf(name.Pos(),
+									"package-level var %q holds %s, owned by boundary %q: owned values may not be stored outside their boundary",
+									name.Name, disp, owned)
+							}
+						}
+					case *ast.TypeSpec:
+						st, ok := spec.Type.(*ast.StructType)
+						if !ok {
+							continue
+						}
+						for _, field := range st.Fields.List {
+							tv, ok := pkg.Info.Types[field.Type]
+							if !ok {
+								continue
+							}
+							owned, disp := reg.OwnedBoundary(tv.Type)
+							if owned == "" || owned == fileB {
+								continue
+							}
+							// Skip the owned type's own declaration file
+							// being outside — that is a registry problem,
+							// not a field problem; and skip self-reference.
+							pass.Reportf(field.Pos(),
+								"struct field in type %q holds %s, owned by boundary %q: owned values may not be stored outside their boundary",
+								spec.Name.Name, disp, owned)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Signature, call-site and goroutine checks over declared functions.
+	g := pass.Module.Graph()
+	for _, node := range g.Sorted {
+		checkPartitionFunc(pass, bounds, node)
+	}
+}
+
+func checkPartitionFunc(pass *ModulePass, bounds *BoundarySet, node *CallNode) {
+	reg := bounds.Reg
+	fn, fd, info := node.Func, node.Decl, node.Pkg.Info
+	file := fileOfNode(node)
+	fnB := bounds.FuncBoundary(fn, file)
+
+	// Signature check: receiver and parameters.
+	var sigFields []*ast.Field
+	if fd.Recv != nil {
+		sigFields = append(sigFields, fd.Recv.List...)
+	}
+	if fd.Type.Params != nil {
+		sigFields = append(sigFields, fd.Type.Params.List...)
+	}
+	for _, field := range sigFields {
+		tv, ok := info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		owned, disp := reg.OwnedBoundary(tv.Type)
+		if owned == "" || owned == fnB || reg.MergeFor(fn, owned) {
+			continue
+		}
+		pass.Reportf(field.Pos(),
+			"%s takes %s, owned by boundary %q, but is neither annotated into that boundary nor a declared merge",
+			FuncDisplay(fn), disp, owned)
+	}
+	// Declared merges hand their results out of the boundary: results
+	// must be boundary-free.
+	if reg.IsMerge(fn) && fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			tv, ok := info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if owned, disp := reg.OwnedBoundary(tv.Type); owned != "" {
+				pass.Reportf(field.Pos(),
+					"declared merge %s returns %s, owned by boundary %q: merge results must be boundary-free",
+					FuncDisplay(fn), disp, owned)
+			}
+		}
+	}
+
+	g := pass.Module.Graph()
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			checkPartitionGo(pass, bounds, fn, file, info, n)
+		case *ast.CallExpr:
+			checkPartitionCall(pass, bounds, g, fn, file, info, n)
+		}
+		return true
+	})
+}
+
+// checkPartitionGo flags a goroutine spawned outside boundary A that
+// receives or captures an A-owned value.
+func checkPartitionGo(pass *ModulePass, bounds *BoundarySet, fn *types.Func, file *ast.File, info *types.Info, g *ast.GoStmt) {
+	reg := bounds.Reg
+	report := func(pos token.Pos, disp, owned, how string) {
+		pass.Reportf(pos,
+			"goroutine %s %s, owned by boundary %q, outside that boundary: owned values stay on their partition's goroutine",
+			how, disp, owned)
+	}
+	for _, arg := range g.Call.Args {
+		tv, ok := info.Types[arg]
+		if !ok {
+			continue
+		}
+		owned, disp := reg.OwnedBoundary(tv.Type)
+		if owned == "" || bounds.EffectiveBoundary(fn, file, owned) == owned {
+			continue
+		}
+		report(arg.Pos(), disp, owned, "receives")
+	}
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true
+		}
+		owned, disp := reg.OwnedBoundary(obj.Type())
+		if owned == "" || bounds.EffectiveBoundary(fn, file, owned) == owned {
+			return true
+		}
+		report(id.Pos(), fmt.Sprintf("%q (%s)", id.Name, disp), owned, "captures")
+		return true
+	})
+}
+
+// checkPartitionCall flags owned values passed across a boundary at a
+// call site: an argument owned by A, from code whose effective boundary
+// is not A, must flow into a declared merge for A or a function
+// annotated into A.
+func checkPartitionCall(pass *ModulePass, bounds *BoundarySet, g *CallGraph, fn *types.Func, file *ast.File, info *types.Info, call *ast.CallExpr) {
+	reg := bounds.Reg
+	// Type conversions move no value across goroutines.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	// len/cap observe without sharing.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && (b.Name() == "len" || b.Name() == "cap") {
+			return
+		}
+	}
+	callee := CalleeFunc(info, call)
+	var calleeB string
+	inModule := false
+	if callee != nil {
+		if target, ok := g.Nodes[callee]; ok {
+			inModule = true
+			calleeB = bounds.FuncBoundary(callee, fileOfNode(target))
+		}
+	}
+	for _, arg := range call.Args {
+		tv, ok := info.Types[arg]
+		if !ok {
+			continue
+		}
+		owned, disp := reg.OwnedBoundary(tv.Type)
+		if owned == "" {
+			continue
+		}
+		b := bounds.EffectiveBoundary(fn, file, owned)
+		if b == owned {
+			// Inside the boundary (or a sanctioned merge): handing the
+			// value to boundary code or another merge is fine; handing
+			// it to annotated foreign code is that code's signature
+			// violation, reported at its declaration.
+			continue
+		}
+		if callee != nil && reg.MergeFor(callee, owned) {
+			continue
+		}
+		if inModule && calleeB == owned {
+			continue
+		}
+		to := "a dynamic or external callee"
+		if callee != nil {
+			to = FuncDisplay(callee)
+		}
+		pass.Reportf(arg.Pos(),
+			"%s, owned by boundary %q, passed to %s from outside the boundary: owned values cross only through declared merge functions",
+			disp, owned, to)
+	}
+}

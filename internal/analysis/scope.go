@@ -72,6 +72,49 @@ func fileImportsSim(f *ast.File) bool {
 	return false
 }
 
+// fileUsesEngineType reports whether any expression in f has a type
+// that is, points to, or structurally contains an engine type. This is
+// the transitive half of the enginepure scope: a file that reaches the
+// engine through a wrapper package's types is engine-owning even
+// though it never imports sim or hw itself.
+func fileUsesEngineType(info *types.Info, f *ast.File) bool {
+	memo := make(map[types.Type]bool)
+	contains := func(t types.Type) bool {
+		if t == nil {
+			return false
+		}
+		if v, ok := memo[t]; ok {
+			return v
+		}
+		v := containsEngineType(t)
+		memo[t] = v
+		return v
+	}
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := info.Types[expr]; ok && contains(tv.Type) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// fileEngineOwning is the v3 enginepure scope: the file imports sim or
+// hw, or it touches engine-owning types transitively through another
+// package's wrappers.
+func fileEngineOwning(pkg *Package, f *ast.File) bool {
+	return fileImportsSim(f) || fileUsesEngineType(pkg.Info, f)
+}
+
 // engineTypeNames are the single-goroutine simulation types: sharing
 // one of these across goroutines breaks the determinism contract.
 var engineTypeNames = map[string]map[string]bool{

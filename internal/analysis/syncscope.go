@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SyncScope is the registry-and-locks half of the concurrency-boundary
+// contract. It validates the declarative layer itself — a broken
+// BOUNDARY.md or a dangling annotation must fail the gate, not
+// silently disable it — and then holds the sanctioned concurrency to
+// its declared lock discipline:
+//
+//   - every parse or consistency error in a BOUNDARY.md registry is a
+//     diagnostic (undeclared boundary references, duplicate
+//     declarations, cyclic lock orders, malformed lines);
+//   - every `//vet:boundary` marker must name a declared boundary;
+//     one file belongs to at most one boundary;
+//   - in a package that contains boundary-annotated files, the
+//     unannotated files may not use sync, channels or goroutines —
+//     concurrency in a boundary package lives inside the boundary
+//     (files that are engine-owning are enginepure's domain and are
+//     not doubly reported here);
+//   - inside boundary code, every mutex acquired must be a declared
+//     `lock` of the registry, and every nested acquisition must agree
+//     with the declared `lockorder` — an inverted pair is a potential
+//     deadlock, reported statically; an undeclared pair must be added
+//     to the order before it ships.
+//
+// The lock scan is linear over each function body in source order,
+// tracking the held set; `defer mu.Unlock()` keeps the lock held for
+// the remainder of the body, which is the conservative reading.
+var SyncScope = &Analyzer{
+	Name:      "syncscope",
+	Doc:       "validate BOUNDARY.md registries and //vet:boundary markers; hold boundary code to the declared lock order",
+	RunModule: runSyncScope,
+}
+
+func runSyncScope(pass *ModulePass) {
+	bounds := pass.Module.Bounds()
+	bounds.ExportFacts(pass.Module)
+	reg := bounds.Reg
+
+	for _, d := range reg.Errors {
+		pass.Report(d)
+	}
+	for _, d := range bounds.conflicts {
+		pass.Report(d)
+	}
+	for _, ann := range bounds.markers {
+		switch {
+		case ann.name == "":
+			pass.Report(Diagnostic{Pos: ann.pos,
+				Message: "//vet:boundary marker is missing a boundary name"})
+		case !reg.Declared(ann.name):
+			pass.Report(Diagnostic{Pos: ann.pos,
+				Message: "//vet:boundary references undeclared boundary \"" + ann.name + "\" (declare it in BOUNDARY.md)"})
+		}
+	}
+
+	for _, pkg := range pass.Pkgs {
+		boundaryPkg := false
+		for _, f := range pkg.Files {
+			if bounds.FileExempt(f) {
+				boundaryPkg = true
+				break
+			}
+		}
+		if !boundaryPkg {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if bounds.FileExempt(f) || fileEngineOwning(pkg, f) {
+				continue
+			}
+			reportUnannotatedConcurrency(pass, pkg, f)
+		}
+	}
+
+	g := pass.Module.Graph()
+	for _, node := range g.Sorted {
+		file := fileOfNode(node)
+		if b := bounds.FuncBoundary(node.Func, file); b == "" || !reg.Declared(b) {
+			continue
+		}
+		checkLockOrder(pass, reg, node)
+	}
+}
+
+// reportUnannotatedConcurrency flags sync/channel/goroutine use in an
+// unannotated file of a package that declares boundaries.
+func reportUnannotatedConcurrency(pass *ModulePass, pkg *Package, f *ast.File) {
+	for _, imp := range f.Imports {
+		switch strings.Trim(imp.Path.Value, `"`) {
+		case "sync", "sync/atomic":
+			pass.Reportf(imp.Pos(),
+				"import of %s in an unannotated file of a boundary package: concurrency belongs inside a //vet:boundary file",
+				strings.Trim(imp.Path.Value, `"`))
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(),
+				"go statement in an unannotated file of a boundary package: concurrency belongs inside a //vet:boundary file")
+		case *ast.ChanType:
+			pass.Reportf(n.Pos(),
+				"channel in an unannotated file of a boundary package: concurrency belongs inside a //vet:boundary file")
+		}
+		return true
+	})
+}
+
+// mutexOp is one Lock/Unlock call found in source order.
+type mutexOp struct {
+	id      string
+	acquire bool
+	read    bool
+	pos     token.Pos
+}
+
+// checkLockOrder walks one boundary function linearly, tracking held
+// locks and checking each nested acquisition against the registry.
+func checkLockOrder(pass *ModulePass, reg *Registry, node *CallNode) {
+	ops := collectMutexOps(node.Pkg.Info, node.Decl.Body)
+	var held []string
+	for _, op := range ops {
+		if !op.acquire {
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i] == op.id {
+					held = append(held[:i], held[i+1:]...)
+					break
+				}
+			}
+			continue
+		}
+		if _, ok := reg.Locks[op.id]; !ok {
+			pass.Reportf(op.pos,
+				"mutex %q is not declared in the boundary registry (add a `lock` line to BOUNDARY.md)", op.id)
+		}
+		for _, h := range held {
+			switch {
+			case h == op.id:
+				pass.Reportf(op.pos,
+					"mutex %q acquired while already held: self-deadlock", op.id)
+			case reg.orderReachable(op.id, h):
+				pass.Reportf(op.pos,
+					"acquiring %q while holding %q inverts the declared lock order — potential deadlock", op.id, h)
+			case !reg.orderReachable(h, op.id):
+				pass.Reportf(op.pos,
+					"lock pair (%q before %q) is not declared in the registry lock order (add a `lockorder` line)", h, op.id)
+			}
+		}
+		held = append(held, op.id)
+	}
+}
+
+// collectMutexOps finds every sync mutex Lock/RLock/Unlock/RUnlock call
+// under root in source order, resolving each to a registry lock id.
+// Deferred unlocks are skipped: a `defer mu.Unlock()` keeps the mutex
+// held for the rest of the linear scan.
+func collectMutexOps(info *types.Info, root ast.Node) []mutexOp {
+	var ops []mutexOp
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		meth := sel.Sel.Name
+		var acquire, read bool
+		switch meth {
+		case "Lock":
+			acquire = true
+		case "RLock":
+			acquire, read = true, true
+		case "Unlock":
+		case "RUnlock":
+			read = true
+		default:
+			return true
+		}
+		selection, ok := info.Selections[sel]
+		if !ok || selection.Kind() != types.MethodVal {
+			return true
+		}
+		fnObj, ok := selection.Obj().(*types.Func)
+		if !ok || fnObj.Pkg() == nil || fnObj.Pkg().Path() != "sync" {
+			return true
+		}
+		id := lockID(info, sel.X)
+		if id == "" {
+			return true
+		}
+		ops = append(ops, mutexOp{id: id, acquire: acquire, read: read, pos: call.Pos()})
+		return true
+	})
+	return ops
+}
+
+// lockID names the mutex expression in registry terms: `Type.field`
+// for a mutex struct field, `Type` for a method promoted from an
+// embedded mutex, or the bare name of a mutex variable.
+func lockID(info *types.Info, x ast.Expr) string {
+	switch x := unparen(x).(type) {
+	case *ast.SelectorExpr:
+		// recv.field.Lock(): name by the owning type and field.
+		if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			recv := sel.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok {
+				return named.Obj().Name() + "." + x.Sel.Name
+			}
+		}
+		// pkg.muVar.Lock() or expr.muVar where no better name exists.
+		return x.Sel.Name
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			return x.Name
+		}
+		t := obj.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() != "sync" {
+				// q.Lock() through an embedded mutex: name the outer type.
+				return named.Obj().Name()
+			}
+		}
+		return x.Name
+	}
+	return ""
+}

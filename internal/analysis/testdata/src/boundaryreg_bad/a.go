@@ -1,0 +1,17 @@
+//vet:boundary ghost
+
+// Package boundaryreg_bad is a fixture: a broken BOUNDARY.md plus
+// every annotation error — an undeclared boundary name, an empty
+// marker, and a second conflicting file-level marker. A broken
+// declarative layer must fail the gate, not silently disable it.
+package boundaryreg_bad
+
+// Placeholder keeps the package non-empty.
+func Placeholder() int { return 1 }
+
+//vet:boundary
+
+//vet:boundary other
+
+// Trailer sits after the conflicting marker.
+func Trailer() int { return 2 }

@@ -1,0 +1,36 @@
+// Package enginecapture_bad is a fixture for the capture escapes the
+// direct checks used to miss: bound method values (`f := eng.Run;
+// go f()`) and engine-capturing functions handed to goroutine-spawning
+// wrappers, directly and through a relay.
+package enginecapture_bad
+
+import (
+	"stronghold/internal/analysis/testdata/src/enginecapture_helper"
+	"stronghold/internal/sim"
+)
+
+// Detach launders the receiver through a method value.
+func Detach(eng *sim.Engine) {
+	f := eng.Run
+	go f() // want "goroutine runs \"f\", a method value bound to sim.Engine: engine-owning values must stay on the simulation goroutine"
+}
+
+// ViaSpawner hands an engine-capturing closure to a wrapper that
+// spawns it.
+func ViaSpawner(eng *sim.Engine) {
+	enginecapture_helper.Spawn(func() {
+		eng.Run() // want "closure passed to enginecapture_helper.Spawn runs on a goroutine and captures \"eng\" \\(sim.Engine\\)"
+	})
+}
+
+// ViaRelay reaches the spawner one hop away with a method value.
+func ViaRelay(s *sim.Signal) {
+	enginecapture_helper.Relay(s.Fire) // want "method value on sim.Signal passed to enginecapture_helper.Relay runs on a goroutine"
+}
+
+// ViaBoundIdent passes a bound method value by name, at the spawned
+// parameter index only.
+func ViaBoundIdent(s *sim.Signal) string {
+	g := s.Fire
+	return enginecapture_helper.Tagged("label", g) // want "\"g\", a method value bound to sim.Signal, passed to enginecapture_helper.Tagged runs on a goroutine"
+}

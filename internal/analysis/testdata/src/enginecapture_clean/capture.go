@@ -1,0 +1,24 @@
+// Package enginecapture_clean is a fixture: the same shapes as
+// enginecapture_bad — bound method values, spawner wrappers — but
+// none of the captured values own engine state, and the file itself
+// is not engine-owning. No findings.
+package enginecapture_clean
+
+import "stronghold/internal/analysis/testdata/src/enginecapture_helper"
+
+type counter struct {
+	n int
+}
+
+func (c *counter) bump() { c.n++ }
+
+// Run exercises every spawner shape with engine-free values.
+func Run() string {
+	c := &counter{}
+	f := c.bump
+	go f()
+	enginecapture_helper.Spawn(func() { c.n = 10 })
+	enginecapture_helper.Relay(c.bump)
+	x := 0
+	return enginecapture_helper.Tagged("ok", func() { x++ })
+}

@@ -1,0 +1,23 @@
+// Package enginecapture_helper is a fixture helper: goroutine-spawning
+// wrappers with no engine types of their own, so the package is not
+// engine-owning and the `go` statements here are legal. What is not
+// legal is handing them an engine-capturing function — the spawner
+// analysis marks which parameters end up on a goroutine, transitively.
+package enginecapture_helper
+
+// Spawn runs fn on a new goroutine: parameter 0 is spawned directly.
+func Spawn(fn func()) {
+	go fn()
+}
+
+// Relay forwards fn to Spawn: parameter 0 is spawned one hop away,
+// which the fixpoint must discover.
+func Relay(fn func()) {
+	Spawn(fn)
+}
+
+// Tagged spawns only its second parameter; the first is safe.
+func Tagged(label string, fn func()) string {
+	go fn()
+	return label
+}

@@ -1,0 +1,28 @@
+package enginetrans_bad
+
+import "sync"
+
+// This file shares the package but touches no engine type, directly or
+// transitively: the enginepure scope is per-file, so its concurrency
+// is legal (this is the functional-trainer pattern). No findings.
+
+var pool sync.WaitGroup
+
+// Fan runs plain computation on worker goroutines.
+func Fan(vals []int) int {
+	results := make(chan int, len(vals))
+	for _, v := range vals {
+		v := v
+		pool.Add(1)
+		go func() {
+			defer pool.Done()
+			results <- v * v
+		}()
+	}
+	pool.Wait()
+	total := 0
+	for range vals {
+		total += <-results
+	}
+	return total
+}

@@ -1,0 +1,19 @@
+// Package enginetrans_helper is a fixture helper: it wraps the engine
+// in its own exported type, so a downstream package can hold engine
+// state without ever importing the sim package itself.
+package enginetrans_helper
+
+import "stronghold/internal/sim"
+
+// Wrap carries the engine one package removed.
+type Wrap struct {
+	Eng *sim.Engine
+}
+
+// New returns a wrapped engine.
+func New() *Wrap {
+	return &Wrap{Eng: sim.NewEngine()}
+}
+
+// Now reads the wrapped engine's virtual clock.
+func (w *Wrap) Now() sim.Time { return w.Eng.Now() }

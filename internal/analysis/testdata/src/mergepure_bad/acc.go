@@ -1,0 +1,16 @@
+//vet:boundary agg
+
+// Package mergepure_bad is a fixture: declared merge functions that
+// reach nondeterminism — the wall clock (through a helper, proving the
+// closure is interprocedural), the global rand stream, bare map
+// iteration, and an order-sensitive sink.
+package mergepure_bad
+
+// Acc is the boundary-owned accumulator the merges fold.
+type Acc struct {
+	n      int
+	counts map[string]int
+}
+
+// total is a boundary-internal helper.
+func (a *Acc) total() int { return a.n }

@@ -1,0 +1,58 @@
+package mergepure_bad
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"stronghold/internal/sim"
+)
+
+// clockNow hides the wall clock one call away: the closure must walk
+// the call graph, not just the merge body.
+func clockNow() int64 { return time.Now().UnixNano() }
+
+// MergeClock stamps the merged result with real time.
+func MergeClock(as []*Acc) int64 { // want "declared merge mergepure_bad.MergeClock reaches wall-clock time: merge results must be a pure function of sorted partition inputs"
+	total := int64(0)
+	for _, a := range as {
+		total += int64(a.total())
+	}
+	return total + clockNow()
+}
+
+// MergeRand salts the merge from the unseeded global stream.
+func MergeRand(as []*Acc) int { // want "declared merge mergepure_bad.MergeRand reaches the unseeded global rand stream"
+	return rand.Intn(len(as) + 1)
+}
+
+// MergeMap folds a map in iteration order.
+func MergeMap(as []*Acc) int { // want "declared merge mergepure_bad.MergeMap reaches map iteration"
+	total := 0
+	for _, a := range as {
+		for _, v := range a.counts {
+			total += v
+		}
+	}
+	return total
+}
+
+// MergeSink fires a simulation signal mid-merge: a merge computes, the
+// engine applies.
+func MergeSink(as []*Acc, s *sim.Signal) int { // want "declared merge mergepure_bad.MergeSink reaches an order-sensitive sink"
+	s.Fire()
+	return len(as)
+}
+
+// MergeOK is the collect-then-sort idiom: the map range only appends,
+// and the sort after it erases the iteration order. No finding.
+func MergeOK(as []*Acc) []string {
+	var keys []string
+	for _, a := range as {
+		for k := range a.counts {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,36 @@
+//vet:boundary agg
+
+// Package mergepure_clean is a fixture: declared merge functions that
+// pass the determinism closures — pure folds over slice inputs and
+// the collect-then-sort map idiom.
+package mergepure_clean
+
+import "sort"
+
+// Acc is the boundary-owned accumulator.
+type Acc struct {
+	n      int
+	counts map[string]int
+}
+
+// MergeTotals folds slice inputs in slice order: deterministic.
+func MergeTotals(as []*Acc) int {
+	total := 0
+	for _, a := range as {
+		total += a.n
+	}
+	return total
+}
+
+// MergeKeys collects map keys and sorts them before anything can
+// observe the iteration order.
+func MergeKeys(as []*Acc) []string {
+	var keys []string
+	for _, a := range as {
+		for k := range a.counts {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,35 @@
+package partition_bad
+
+import "fmt"
+
+// Storage escapes: owned values parked where any goroutine can reach
+// them defeat the single-worker-per-partition invariant.
+
+var global *Queue // want "package-level var \"global\" holds partition_bad.Queue, owned by boundary \"left\": owned values may not be stored outside their boundary"
+
+// Holder smuggles a queue into an unowned struct.
+type Holder struct {
+	q *Queue // want "struct field in type \"Holder\" holds partition_bad.Queue, owned by boundary \"left\": owned values may not be stored outside their boundary"
+}
+
+// Use takes an owned value without being in the boundary or a merge.
+func Use(q *Queue) { // want "partition_bad.Use takes partition_bad.Queue, owned by boundary \"left\", but is neither annotated into that boundary nor a declared merge"
+	_ = q
+}
+
+// consume is annotated into the boundary at declaration scope, so its
+// signature is legal — the escape below is at its call site.
+//
+//vet:boundary left
+func consume(q *Queue) { q.Push(1) }
+
+var sink func(*Queue)
+
+func cross() {
+	q := NewQueue()
+	Use(q)          // want "partition_bad.Queue, owned by boundary \"left\", passed to partition_bad.Use from outside the boundary: owned values cross only through declared merge functions"
+	fmt.Println(q)  // want "partition_bad.Queue, owned by boundary \"left\", passed to fmt.Println from outside the boundary"
+	sink(q)         // want "partition_bad.Queue, owned by boundary \"left\", passed to a dynamic or external callee from outside the boundary"
+	_ = Drain(q)    // the declared merge: legal crossing, no finding
+	_ = len(q.items)
+}

@@ -1,0 +1,48 @@
+//vet:boundary left
+
+// Package partition_bad is a fixture: values of the boundary-owned
+// Queue type escaping their boundary every way the partition rule
+// knows about — stored at package level, stored in a foreign struct
+// field, taken by an unannotated function, passed to foreign callees,
+// and handed to goroutines outside the boundary.
+package partition_bad
+
+// Queue is owned by the `left` boundary (see BOUNDARY.md).
+type Queue struct {
+	items []int
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue { return &Queue{} }
+
+// Push appends one item.
+func (q *Queue) Push(v int) { q.items = append(q.items, v) }
+
+// pop removes and returns the last item (boundary-internal helper:
+// owned values flowing inside the boundary are fine).
+func (q *Queue) pop() (int, bool) {
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	v := q.items[len(q.items)-1]
+	q.items = q.items[:len(q.items)-1]
+	return v, true
+}
+
+// Drain is the declared merge: the sanctioned crossing point. The
+// result is boundary-free, so nothing is reported.
+func Drain(q *Queue) []int {
+	var out []int
+	for {
+		v, ok := q.pop()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+// BadDrain is a declared merge whose result smuggles owned state out.
+func BadDrain(q *Queue) *Queue { // want "declared merge partition_bad.BadDrain returns partition_bad.Queue, owned by boundary \"left\": merge results must be boundary-free"
+	return q
+}

@@ -1,0 +1,14 @@
+//vet:boundary right
+
+package partition_bad
+
+// The right boundary holds a left-owned queue: being inside *a*
+// boundary does not license touching *another* boundary's state.
+
+func rightSpawn() {
+	q := NewQueue()
+	go consume(q) // want "goroutine receives partition_bad.Queue, owned by boundary \"left\", outside that boundary: owned values stay on their partition's goroutine"
+	go func() {
+		q.Push(2) // want "goroutine captures \"q\" \\(partition_bad.Queue\\), owned by boundary \"left\", outside that boundary"
+	}()
+}

@@ -1,0 +1,21 @@
+package partition_clean
+
+// The unannotated driver: it may construct queues, drive them through
+// the boundary's method API, and receive merged output — it just may
+// not store, capture, or forward the owned value itself.
+
+func run() []int {
+	q := NewQueue()
+	q.Push(1)
+	q.Push(2)
+	if q.Len() == 0 {
+		return nil
+	}
+	return Drain(q) // the declared merge: the one sanctioned crossing
+}
+
+// inspect is annotated into the boundary at declaration scope: a
+// single function may join a boundary without moving its whole file.
+//
+//vet:boundary left
+func inspect(q *Queue) int { return len(q.items) }

@@ -1,0 +1,38 @@
+//vet:boundary left
+
+// Package partition_clean is a fixture: every sanctioned way of
+// working with a boundary-owned type, producing no diagnostics —
+// owned state inside the boundary, crossings through the declared
+// merge, method calls as the boundary API, and builtin observations.
+package partition_clean
+
+// Queue is owned by the `left` boundary.
+type Queue struct {
+	items []int
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue { return &Queue{} }
+
+// Push appends one item.
+func (q *Queue) Push(v int) { q.items = append(q.items, v) }
+
+// Len reports the queue length.
+func (q *Queue) Len() int { return len(q.items) }
+
+// share moves items between queues inside the boundary: owned values
+// flow freely here.
+func share(a, b *Queue) {
+	for _, v := range a.items {
+		b.Push(v)
+	}
+}
+
+// Drain is the declared merge; its boundary-free result may go
+// anywhere.
+func Drain(q *Queue) []int {
+	out := make([]int, len(q.items))
+	copy(out, q.items)
+	q.items = q.items[:0]
+	return out
+}

@@ -1,0 +1,13 @@
+// Package promote_fix is a fixture: an engine-owning file with a
+// blanket violation, in a package whose registry declares a boundary —
+// so each finding carries the promote-into-boundary suggested fix.
+package promote_fix
+
+import "stronghold/internal/sim"
+
+// Wait parks on a channel in an engine-owning file.
+func Wait(eng *sim.Engine) {
+	done := make(chan struct{}) // want "channel in an engine-owning file"
+	_ = eng.Now()
+	<-done // want "channel receive in an engine-owning file"
+}

@@ -1,0 +1,68 @@
+//vet:boundary core
+
+// Package syncscope_bad is a fixture: every lock-discipline violation
+// the syncscope rule flags inside boundary code, plus stray
+// concurrency in the unannotated file next door.
+package syncscope_bad
+
+import "sync"
+
+// Box carries the declared Box.mu lock.
+type Box struct {
+	mu sync.Mutex
+	n  int
+}
+
+var gmu sync.Mutex
+var omu sync.Mutex
+var undeclmu sync.Mutex
+
+// ordered follows the declared Box.mu < gmu order: no findings.
+func ordered(b *Box) {
+	b.mu.Lock()
+	gmu.Lock()
+	b.n++
+	gmu.Unlock()
+	b.mu.Unlock()
+}
+
+// inverted acquires against the declared order.
+func inverted(b *Box) {
+	gmu.Lock()
+	b.mu.Lock() // want "acquiring \"Box.mu\" while holding \"gmu\" inverts the declared lock order — potential deadlock"
+	b.n++
+	b.mu.Unlock()
+	gmu.Unlock()
+}
+
+// undeclared takes a mutex the registry never heard of.
+func undeclared() {
+	undeclmu.Lock() // want "mutex \"undeclmu\" is not declared in the boundary registry"
+	undeclmu.Unlock()
+}
+
+// unordered nests two declared locks with no declared relation.
+func unordered(b *Box) {
+	omu.Lock()
+	gmu.Lock() // want "lock pair \\(\"omu\" before \"gmu\"\\) is not declared in the registry lock order"
+	gmu.Unlock()
+	omu.Unlock()
+}
+
+// double reacquires a lock it already holds.
+func double() {
+	gmu.Lock()
+	gmu.Lock() // want "mutex \"gmu\" acquired while already held: self-deadlock"
+	gmu.Unlock()
+	gmu.Unlock()
+}
+
+// deferred keeps the lock held to the end of the linear scan: the
+// nested acquisition still sees the declared order satisfied.
+func deferred(b *Box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gmu.Lock()
+	b.n--
+	gmu.Unlock()
+}

@@ -1,0 +1,14 @@
+package syncscope_bad
+
+import "sync" // want "import of sync in an unannotated file of a boundary package: concurrency belongs inside a //vet:boundary file"
+
+var strayMu sync.Mutex
+
+func strayWork() {
+	ch := make(chan int, 1) // want "channel in an unannotated file of a boundary package"
+	go func() {             // want "go statement in an unannotated file of a boundary package"
+		strayMu.Lock()
+		strayMu.Unlock()
+		ch <- 1
+	}()
+}

@@ -1,0 +1,12 @@
+package syncscope_clean
+
+// The unannotated neighbor: no sync, no channels, no goroutines — a
+// boundary package may hold plain serial code outside the boundary.
+
+func tally(vals []int) int {
+	total := 0
+	for _, v := range vals {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,44 @@
+//vet:boundary core
+
+// Package syncscope_clean is a fixture: declared locks taken in the
+// declared order inside a boundary file, a concurrency-free
+// unannotated neighbor, and an engine-owning neighbor that is
+// enginepure's business rather than syncscope's.
+package syncscope_clean
+
+import "sync"
+
+// Box carries the declared Box.mu lock.
+type Box struct {
+	mu sync.Mutex
+	n  int
+}
+
+var gmu sync.Mutex
+
+// nested acquires in the declared order.
+func nested(b *Box) {
+	b.mu.Lock()
+	gmu.Lock()
+	b.n++
+	gmu.Unlock()
+	b.mu.Unlock()
+}
+
+// serial never nests, so no pair is ever checked.
+func serial(b *Box) {
+	gmu.Lock()
+	gmu.Unlock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// deferred holds Box.mu via defer and nests gmu under it, in order.
+func deferred(b *Box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gmu.Lock()
+	b.n--
+	gmu.Unlock()
+}

@@ -1,0 +1,59 @@
+//vet:boundary barrier
+
+package parallel
+
+import (
+	"sync"
+
+	"stronghold/internal/sim"
+)
+
+// Barrier is the lookahead barrier: the synchronization point where
+// partitions receive their next safe horizon and surrender their due
+// events. It is owned by the `barrier` boundary. The channel exists so
+// future workers can block on round completion; it carries no owned
+// state.
+type Barrier struct {
+	mu        sync.Mutex
+	lookahead sim.Time
+	now       sim.Time
+	round     chan struct{}
+}
+
+// NewBarrier returns a barrier granting horizons in steps of the given
+// lookahead.
+func NewBarrier(lookahead sim.Time) *Barrier {
+	return &Barrier{lookahead: lookahead, round: make(chan struct{}, 1)}
+}
+
+// Now returns the barrier's current global virtual time.
+func (b *Barrier) Now() sim.Time {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.now
+}
+
+// Advance moves global time forward by one lookahead window and grants
+// the new horizon to every partition. It is a declared merge point for
+// the partition boundary: the only sanctioned code path, outside the
+// partition files themselves, that reaches into partition state. The
+// nested locking below follows the declared order
+// Barrier.mu < Partition.mu exactly; syncscope verifies it.
+func (b *Barrier) Advance(parts []*Partition) sim.Time {
+	b.mu.Lock()
+	b.now += b.lookahead
+	h := b.now
+	for _, p := range parts {
+		p.mu.Lock()
+		if h > p.horizon {
+			p.horizon = h
+		}
+		p.mu.Unlock()
+	}
+	b.mu.Unlock()
+	select {
+	case b.round <- struct{}{}:
+	default:
+	}
+	return h
+}

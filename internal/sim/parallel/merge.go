@@ -1,0 +1,31 @@
+package parallel
+
+import "sort"
+
+// MergeOrdered drains every partition's due events and returns them in
+// the one global order the serial engine would have executed them:
+// by virtual due time, then by partition id, then by partition-local
+// sequence number. The comparator is total, so the result is a pure
+// function of the partition contents regardless of worker
+// interleaving — which is exactly what mergepure verifies statically.
+//
+// MergeOrdered is the declared merge function of the partition
+// boundary: the sanctioned point where partition-owned state crosses
+// into unannotated code, as unowned []Event.
+func MergeOrdered(parts []*Partition) []Event {
+	var out []Event
+	for _, p := range parts {
+		out = append(out, p.take()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Part != b.Part {
+			return a.Part < b.Part
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}

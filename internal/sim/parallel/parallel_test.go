@@ -1,0 +1,90 @@
+package parallel
+
+import (
+	"reflect"
+	"testing"
+)
+
+// All tests here are serial and deterministic: the package is the
+// static contract's exercise ground, not a parallel runtime yet.
+
+func TestEnqueueAndHorizon(t *testing.T) {
+	p := NewPartition(3)
+	if p.ID() != 3 {
+		t.Fatalf("ID = %d, want 3", p.ID())
+	}
+	p.Enqueue(10, nil)
+	p.Enqueue(5, nil)
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", p.Len())
+	}
+	if p.Horizon() != 0 {
+		t.Fatalf("Horizon = %d before any grant, want 0", p.Horizon())
+	}
+	b := NewBarrier(20)
+	if got := b.Advance([]*Partition{p}); got != 20 {
+		t.Fatalf("Advance = %d, want 20", got)
+	}
+	if p.Horizon() != 20 {
+		t.Fatalf("Horizon = %d after grant, want 20", p.Horizon())
+	}
+	if b.Now() != 20 {
+		t.Fatalf("Now = %d, want 20", b.Now())
+	}
+}
+
+func TestMergeOrderedIsDeterministic(t *testing.T) {
+	build := func() []*Partition {
+		p0, p1 := NewPartition(0), NewPartition(1)
+		// Same due times across partitions; ties must break by
+		// (partition, sequence), never by drain order.
+		p1.Enqueue(7, nil)
+		p0.Enqueue(7, nil)
+		p0.Enqueue(3, nil)
+		p1.Enqueue(3, nil)
+		p0.Enqueue(7, nil)
+		b := NewBarrier(10)
+		b.Advance([]*Partition{p0, p1})
+		return []*Partition{p0, p1}
+	}
+	key := func(events []Event) [][3]int64 {
+		var out [][3]int64
+		for _, e := range events {
+			out = append(out, [3]int64{int64(e.At), int64(e.Part), int64(e.Seq)})
+		}
+		return out
+	}
+	first := key(MergeOrdered(build()))
+	second := key(MergeOrdered(build()))
+	want := [][3]int64{{3, 0, 1}, {3, 1, 1}, {7, 0, 0}, {7, 0, 2}, {7, 1, 0}}
+	if !reflect.DeepEqual(first, want) {
+		t.Fatalf("merge order = %v, want %v", first, want)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("two identical builds merged differently:\n%v\n%v", first, second)
+	}
+}
+
+func TestEventsBeyondHorizonStayQueued(t *testing.T) {
+	p := NewPartition(0)
+	p.Enqueue(5, nil)
+	p.Enqueue(25, nil)
+	b := NewBarrier(10)
+	b.Advance([]*Partition{p})
+	got := MergeOrdered([]*Partition{p})
+	if len(got) != 1 || got[0].At != 5 {
+		t.Fatalf("merged %v, want only the event at t=5", got)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d after partial drain, want 1", p.Len())
+	}
+	b.Advance([]*Partition{p}) // horizon 20: t=25 still not due
+	if got := MergeOrdered([]*Partition{p}); len(got) != 0 {
+		t.Fatalf("merged %v at horizon 20, want nothing", got)
+	}
+	b.Advance([]*Partition{p}) // horizon 30
+	got = MergeOrdered([]*Partition{p})
+	if len(got) != 1 || got[0].At != 25 {
+		t.Fatalf("final merge %v, want the event at t=25", got)
+	}
+}

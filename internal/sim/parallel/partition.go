@@ -1,0 +1,92 @@
+//vet:boundary partition
+
+// Package parallel is the concurrency skeleton for the future
+// conservative parallel discrete-event engine (ROADMAP item 1). It
+// ships ahead of any parallel scheduling so the concurrency-boundary
+// contract in BOUNDARY.md is enforced against real code from day one:
+// stronghold-vet's partition/syncscope/mergepure rules run over this
+// package on every invocation, and reverting an annotation here makes
+// the gate fail. Nothing in the simulator imports this package yet;
+// seeding it is behavior-neutral by construction.
+package parallel
+
+import (
+	"sync"
+
+	"stronghold/internal/sim"
+)
+
+// Event is one partition-local scheduled callback. It is the crossing
+// currency between boundaries — deliberately *not* an owned type, so
+// merged event sequences may flow freely once extracted in a
+// deterministic order. The (At, Part, Seq) triple is a total order:
+// At is the virtual due time, Part the owning partition's id, Seq the
+// partition-local admission counter.
+type Event struct {
+	At   sim.Time
+	Part int
+	Seq  uint64
+	Fn   func()
+}
+
+// Partition is one partition's event queue. It is owned by the
+// `partition` boundary: between barrier synchronizations exactly one
+// worker goroutine touches it, and its values cross to other code only
+// through the declared merge functions.
+type Partition struct {
+	mu      sync.Mutex
+	id      int
+	seq     uint64
+	horizon sim.Time
+	events  []Event
+}
+
+// NewPartition returns an empty partition with the given id.
+func NewPartition(id int) *Partition {
+	return &Partition{id: id}
+}
+
+// ID returns the partition's id.
+func (p *Partition) ID() int { return p.id }
+
+// Enqueue admits a callback due at the given virtual time, stamping it
+// with the partition-local sequence number that makes same-time events
+// totally ordered.
+func (p *Partition) Enqueue(at sim.Time, fn func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.events = append(p.events, Event{At: at, Part: p.id, Seq: p.seq, Fn: fn})
+	p.seq++
+}
+
+// Horizon returns the virtual time the partition may safely advance to,
+// as granted by the barrier.
+func (p *Partition) Horizon() sim.Time {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.horizon
+}
+
+// Len reports the number of queued events.
+func (p *Partition) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.events)
+}
+
+// take removes and returns every event due at or before the granted
+// horizon. Events beyond the horizon stay queued for the next round.
+func (p *Partition) take() []Event {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var due, rest []Event
+	for _, e := range p.events {
+		if e.At <= p.horizon {
+			due = append(due, e)
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	p.events = rest
+	return due
+}
