@@ -1,16 +1,30 @@
 // Command stronghold-bench runs the simulator's canonical benchmark
-// suite and writes one BENCH_<rev>.json document: per-scenario
-// throughput, achieved TFLOPS, compute/transfer overlap fraction,
-// end-of-run resource utilization, and transfer-time percentiles from
-// the metrics collector. Because the simulator is deterministic, the
-// file is byte-reproducible for a given revision, which makes it
-// diffable in review and comparable across commits:
+// suite (internal/bench) and writes one BENCH_<rev>.json document:
+// per-scenario throughput, achieved TFLOPS, compute/transfer overlap
+// fraction, end-of-run resource utilization, and transfer-time
+// percentiles from the metrics collector. Because the simulator is
+// deterministic, the file is byte-reproducible for a given revision,
+// which makes it diffable in review and comparable across commits:
 //
 //	stronghold-bench -rev abc123 -out BENCH_abc123.json
+//	stronghold-bench -workers 8                      # parallel sweep, same bytes
+//	stronghold-bench -workers 8 -timing -rev abc123  # adds wall-clock section
 //	stronghold-bench -compare -threshold 0.05 BENCH_old.json BENCH_new.json
+//
+// -workers runs the scenarios concurrently AND hands each simulation
+// to the conservative parallel engine; scenario results are
+// byte-identical to the serial sweep (the command verifies this when
+// it has both sweeps in hand). -timing runs the suite twice — serial,
+// then parallel — and appends the measured wall-clocks; it is the only
+// flag that makes the document machine-dependent.
 //
 // -compare exits 2 when any scenario's throughput regressed by more
 // than the threshold fraction, making it usable as a CI gate.
+//
+// This package deliberately imports no simulation code: all engine
+// work lives in internal/bench, so the wall-clock reads and the
+// scenario goroutines here stay outside the simulation-scoped
+// determinism rules (stronghold-vet's wallclock/enginepure scopes).
 package main
 
 import (
@@ -19,133 +33,59 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
+	"runtime"
+	"sync"
+	"time"
 
-	"stronghold/internal/baselines"
-	"stronghold/internal/core"
-	"stronghold/internal/hw"
-	"stronghold/internal/metrics"
-	"stronghold/internal/modelcfg"
-	"stronghold/internal/perf"
-	"stronghold/internal/trace"
+	"stronghold/internal/bench"
 )
-
-// Schema identifies the BENCH document layout; bump on breaking change.
-const Schema = "stronghold-bench/v1"
-
-// Doc is one benchmark run: the whole BENCH_<rev>.json document.
-type Doc struct {
-	Schema    string              `json:"schema"`
-	Rev       string              `json:"rev"`
-	Scenarios map[string]Scenario `json:"scenarios"`
-}
-
-// Scenario is one benchmark scenario's result set.
-type Scenario struct {
-	IterTimeNS    int64   `json:"iter_time_ns"`
-	Throughput    float64 `json:"throughput_samples_per_s"`
-	TFLOPS        float64 `json:"tflops"`
-	Overlap       float64 `json:"overlap"`
-	UtilCompute   float64 `json:"util_compute"`
-	UtilH2D       float64 `json:"util_h2d"`
-	UtilD2H       float64 `json:"util_d2h"`
-	UtilCPU       float64 `json:"util_cpu"`
-	UtilNVMe      float64 `json:"util_nvme"`
-	H2DP50NS      int64   `json:"h2d_p50_ns"`
-	H2DP99NS      int64   `json:"h2d_p99_ns"`
-	Steps         uint64  `json:"steps"`
-	MetricSamples uint64  `json:"metric_samples"`
-}
-
-// benchCase is one entry of the suite: a name plus a runner producing
-// the scenario result.
-type benchCase struct {
-	name string
-	run  func() Scenario
-}
-
-// iters is the simulated iteration count per scenario: enough for the
-// steady state the final-iteration timing reads.
-const iters = 3
-
-// strongholdScenario runs the core engine with a metrics collector and
-// distills the scenario result.
-func strongholdScenario(cfg modelcfg.Config, feat core.Features) Scenario {
-	m := perf.NewModel(cfg, hw.V100Platform())
-	e := core.NewEngine(m)
-	e.Feat = feat
-	mc := metrics.New()
-	e.Metrics = mc
-	tr := trace.New()
-	res := e.Run(iters, tr)
-	s := scenarioFrom(res, m)
-	if p50, ok := mc.Quantile(metrics.FamTransferNS, "pcie.h2d", 0.5); ok {
-		s.H2DP50NS = p50
-	}
-	if p99, ok := mc.Quantile(metrics.FamTransferNS, "pcie.h2d", 0.99); ok {
-		s.H2DP99NS = p99
-	}
-	return s
-}
-
-// baselineScenario runs one of the comparison engines (no collector:
-// the baselines are closed-form schedules without the core hooks).
-func baselineScenario(method modelcfg.Method, cfg modelcfg.Config) Scenario {
-	m := perf.NewModel(cfg, hw.V100Platform())
-	return scenarioFrom(baselines.Run(method, m), m)
-}
-
-func scenarioFrom(res perf.IterationResult, m perf.Model) Scenario {
-	return Scenario{
-		IterTimeNS:    int64(res.IterTime),
-		Throughput:    res.Throughput(m.Cfg.BatchSize),
-		TFLOPS:        res.TFLOPS(m.TotalFlops()),
-		Overlap:       res.Overlap,
-		UtilCompute:   res.Util.Compute,
-		UtilH2D:       res.Util.H2D,
-		UtilD2H:       res.Util.D2H,
-		UtilCPU:       res.Util.CPU,
-		UtilNVMe:      res.Util.NVMe,
-		Steps:         res.Steps,
-		MetricSamples: res.MetricSamples,
-	}
-}
-
-// suite returns the benchmark scenarios in their canonical order.
-func suite() []benchCase {
-	cfg1p7 := modelcfg.Config1p7B()
-	cfg4b := modelcfg.ConfigForSize(4, 2560, 1)
-	return []benchCase{
-		{"stronghold-1p7b", func() Scenario {
-			return strongholdScenario(cfg1p7, core.DefaultFeatures())
-		}},
-		{"stronghold-1p7b-multistream", func() Scenario {
-			feat := core.DefaultFeatures()
-			feat.Streams = 2
-			return strongholdScenario(cfg1p7, feat)
-		}},
-		{"stronghold-4b", func() Scenario {
-			return strongholdScenario(cfg4b, core.DefaultFeatures())
-		}},
-		{"stronghold-4b-nvme", func() Scenario {
-			feat := core.DefaultFeatures()
-			feat.UseNVMe = true
-			return strongholdScenario(cfg4b, feat)
-		}},
-		{"baseline-no-opt-1p7b", func() Scenario {
-			return strongholdScenario(cfg1p7, core.Features{Streams: 1})
-		}},
-		{"l2l-1p7b", func() Scenario {
-			return baselineScenario(modelcfg.L2L, cfg1p7)
-		}},
-		{"zero-offload-1p7b", func() Scenario {
-			return baselineScenario(modelcfg.ZeROOffload, cfg1p7)
-		}},
-	}
-}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// sweep runs every suite scenario matching only and returns the
+// results. workers <= 1 runs scenarios sequentially on the serial
+// engine; workers > 1 runs them concurrently (capped at workers
+// in-flight), each simulation on the parallel engine at that worker
+// count. Either way the map is assembled in suite order from an
+// indexed slice, so the output is independent of goroutine scheduling.
+func sweep(cases []bench.Case, only string, workers int) map[string]bench.Scenario {
+	results := make([]bench.Scenario, len(cases))
+	ran := make([]bool, len(cases))
+	if workers <= 1 {
+		for i, c := range cases {
+			if only != "" && c.Name != only {
+				continue
+			}
+			results[i] = c.Run(1)
+			ran[i] = true
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i, c := range cases {
+			if only != "" && c.Name != only {
+				continue
+			}
+			ran[i] = true
+			wg.Add(1)
+			go func(i int, c bench.Case) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				results[i] = c.Run(workers)
+			}(i, c)
+		}
+		wg.Wait()
+	}
+	out := make(map[string]bench.Scenario)
+	for i, c := range cases {
+		if ran[i] {
+			out[c.Name] = results[i]
+		}
+	}
+	return out
 }
 
 // run is main without the process exit, for the e2e test harness.
@@ -157,14 +97,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	out := fs.String("out", "", "output path (default BENCH_<rev>.json; - for stdout)")
 	only := fs.String("only", "", "run only the named scenario")
 	list := fs.Bool("list", false, "list scenario names and exit")
+	workers := fs.Int("workers", 0, "parallel sweep: concurrent scenarios, each simulated at this sim worker count (<=1 = serial)")
+	timing := fs.Bool("timing", false, "run the suite serially and in parallel, recording both wall-clocks (machine-dependent)")
 	compare := fs.Bool("compare", false, "compare two BENCH files: -compare old.json new.json")
 	threshold := fs.Float64("threshold", 0.05, "with -compare: max tolerated fractional throughput drop")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
+	cases := bench.Suite()
 	if *list {
-		for _, c := range suite() {
-			fmt.Fprintln(stdout, c.name)
+		for _, c := range cases {
+			fmt.Fprintln(stdout, c.Name)
 		}
 		return 0
 	}
@@ -173,14 +116,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "stronghold-bench: -compare needs exactly two BENCH files")
 			return 1
 		}
-		return runCompare(fs.Arg(0), fs.Arg(1), *threshold, stdout, stderr)
+		return bench.Compare(fs.Arg(0), fs.Arg(1), *threshold, stdout, stderr)
 	}
-	doc := Doc{Schema: Schema, Rev: *rev, Scenarios: map[string]Scenario{}}
-	for _, c := range suite() {
-		if *only != "" && c.name != *only {
-			continue
+	doc := bench.Doc{Schema: bench.Schema, Rev: *rev}
+	if *timing {
+		w := *workers
+		if w <= 1 {
+			w = runtime.NumCPU()
 		}
-		doc.Scenarios[c.name] = c.run()
+		serialStart := time.Now()
+		serial := sweep(cases, *only, 1)
+		serialWall := time.Since(serialStart)
+		parallelStart := time.Now()
+		parallel := sweep(cases, *only, w)
+		parallelWall := time.Since(parallelStart)
+		// The two sweeps double as a differential check: the parallel
+		// engine's contract is byte-identical scenario results.
+		for name, s := range serial {
+			if parallel[name] != s {
+				fmt.Fprintf(stderr, "stronghold-bench: scenario %q diverged between serial and parallel sweeps\n", name)
+				return 1
+			}
+		}
+		doc.Scenarios = serial
+		doc.Timing = &bench.Timing{
+			SerialWallNS:   serialWall.Nanoseconds(),
+			ParallelWallNS: parallelWall.Nanoseconds(),
+			Workers:        w,
+			CPUs:           runtime.NumCPU(),
+		}
+	} else {
+		doc.Scenarios = sweep(cases, *only, *workers)
 	}
 	if *only != "" && len(doc.Scenarios) == 0 {
 		fmt.Fprintf(stderr, "stronghold-bench: unknown scenario %q\n", *only)
@@ -209,81 +175,5 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if path != "-" {
 		fmt.Fprintf(stdout, "wrote %s (%d scenarios)\n", path, len(doc.Scenarios))
 	}
-	return 0
-}
-
-// loadDoc reads and schema-checks one BENCH file.
-func loadDoc(path string) (*Doc, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var d Doc
-	if err := json.Unmarshal(data, &d); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	if d.Schema != Schema {
-		return nil, fmt.Errorf("%s: schema %q, want %q", path, d.Schema, Schema)
-	}
-	return &d, nil
-}
-
-// runCompare diffs two BENCH documents scenario by scenario. A scenario
-// regresses when its throughput dropped by more than threshold
-// (fractional); scenarios present on only one side are reported but do
-// not gate.
-func runCompare(oldPath, newPath string, threshold float64, stdout, stderr io.Writer) int {
-	oldDoc, err := loadDoc(oldPath)
-	if err != nil {
-		fmt.Fprintf(stderr, "stronghold-bench: %v\n", err)
-		return 1
-	}
-	newDoc, err := loadDoc(newPath)
-	if err != nil {
-		fmt.Fprintf(stderr, "stronghold-bench: %v\n", err)
-		return 1
-	}
-	names := make(map[string]bool)
-	for n := range oldDoc.Scenarios {
-		names[n] = true
-	}
-	for n := range newDoc.Scenarios {
-		names[n] = true
-	}
-	sorted := make([]string, 0, len(names))
-	for n := range names {
-		sorted = append(sorted, n)
-	}
-	sort.Strings(sorted)
-	fmt.Fprintf(stdout, "comparing %s (%s) -> %s (%s), threshold %.1f%%\n",
-		oldPath, oldDoc.Rev, newPath, newDoc.Rev, threshold*100)
-	regressions := 0
-	for _, n := range sorted {
-		o, hasOld := oldDoc.Scenarios[n]
-		nw, hasNew := newDoc.Scenarios[n]
-		switch {
-		case !hasOld:
-			fmt.Fprintf(stdout, "  %-28s new scenario (%.2f samples/s)\n", n, nw.Throughput)
-		case !hasNew:
-			fmt.Fprintf(stdout, "  %-28s removed\n", n)
-		default:
-			delta := 0.0
-			if o.Throughput > 0 {
-				delta = nw.Throughput/o.Throughput - 1
-			}
-			mark := "ok"
-			if delta < -threshold {
-				mark = "REGRESSION"
-				regressions++
-			}
-			fmt.Fprintf(stdout, "  %-28s %9.2f -> %9.2f samples/s (%+.2f%%) %s\n",
-				n, o.Throughput, nw.Throughput, delta*100, mark)
-		}
-	}
-	if regressions > 0 {
-		fmt.Fprintf(stdout, "%d scenario(s) regressed past %.1f%%\n", regressions, threshold*100)
-		return 2
-	}
-	fmt.Fprintln(stdout, "no regressions")
 	return 0
 }

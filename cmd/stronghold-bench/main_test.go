@@ -6,8 +6,11 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
+
+	"stronghold/internal/bench"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -82,8 +85,8 @@ func TestListAndUnknownScenario(t *testing.T) {
 		t.Fatalf("-list exit %d", code)
 	}
 	names := strings.Fields(stdout.String())
-	if len(names) != len(suite()) {
-		t.Errorf("-list printed %d names, suite has %d", len(names), len(suite()))
+	if len(names) != len(bench.Suite()) {
+		t.Errorf("-list printed %d names, suite has %d", len(names), len(bench.Suite()))
 	}
 	var out bytes.Buffer
 	if code := run([]string{"-only", "no-such-scenario", "-out", "-"}, &out, &out); code != 1 {
@@ -107,7 +110,7 @@ func TestBenchScenarioDeterministic(t *testing.T) {
 	if !bytes.Equal(a, b) {
 		t.Fatal("repeated bench runs produced different BENCH documents")
 	}
-	var doc Doc
+	var doc bench.Doc
 	if err := json.Unmarshal(a, &doc); err != nil {
 		t.Fatal(err)
 	}
@@ -120,5 +123,66 @@ func TestBenchScenarioDeterministic(t *testing.T) {
 	}
 	if s.H2DP99NS < s.H2DP50NS {
 		t.Errorf("p99 %d < p50 %d", s.H2DP99NS, s.H2DP50NS)
+	}
+}
+
+// TestParallelSweepByteIdentical is the harness-level differential
+// gate: the full 7-scenario suite run serially and with -workers must
+// emit byte-identical BENCH documents. This covers both layers of
+// parallelism at once — scenario-level goroutines and the conservative
+// parallel sim engine inside each scenario.
+func TestParallelSweepByteIdentical(t *testing.T) {
+	emit := func(extra ...string) []byte {
+		args := append([]string{"-rev", "t", "-out", "-"}, extra...)
+		var stdout, stderr bytes.Buffer
+		code := run(args, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("bench run %v exit %d: %s", extra, code, stderr.String())
+		}
+		return stdout.Bytes()
+	}
+	serial := emit()
+	for _, w := range []string{"2", "8"} {
+		par := emit("-workers", w)
+		if !bytes.Equal(serial, par) {
+			t.Fatalf("-workers %s sweep produced a different BENCH document than the serial sweep", w)
+		}
+	}
+}
+
+// TestTimingSweepWallClock runs the suite with -timing and checks the
+// wall-clock section end to end: both sweeps measured, identical
+// scenario bytes (enforced inside run), and on a multi-core machine
+// the parallel sweep at least keeps pace with the serial one. On a
+// single-CPU machine there is nothing to win — goroutines just take
+// turns — so the inequality is skipped there and enforced by the CI
+// matrix's multi-core runners.
+func TestTimingSweepWallClock(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-rev", "t", "-out", "-", "-timing", "-workers", "8"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("timing run exit %d: %s", code, stderr.String())
+	}
+	var doc bench.Doc
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Timing == nil {
+		t.Fatal("-timing did not populate the timing section")
+	}
+	if doc.Timing.SerialWallNS <= 0 || doc.Timing.ParallelWallNS <= 0 {
+		t.Fatalf("wall-clocks not measured: %+v", doc.Timing)
+	}
+	if doc.Timing.Workers != 8 || doc.Timing.CPUs != runtime.NumCPU() {
+		t.Fatalf("timing metadata wrong: %+v", doc.Timing)
+	}
+	if len(doc.Scenarios) != len(bench.Suite()) {
+		t.Fatalf("timing run covered %d scenarios, want %d", len(doc.Scenarios), len(bench.Suite()))
+	}
+	if runtime.NumCPU() == 1 {
+		t.Skip("single CPU: parallel sweep cannot beat serial; wall-clock gate runs on multi-core CI")
+	}
+	if doc.Timing.ParallelWallNS > doc.Timing.SerialWallNS {
+		t.Errorf("parallel sweep slower than serial on %d CPUs: %+v", runtime.NumCPU(), doc.Timing)
 	}
 }

@@ -50,6 +50,7 @@ func main() {
 	iters := flag.Int("iters", 10, "functional-mode training iterations")
 	faults := flag.String("faults", "", `fault plan, e.g. "seed=7;h2d:slow(at=0s,dur=1s,every=1s,factor=0.2)" (STRONGHOLD only)`)
 	noAdapt := flag.Bool("no-adapt", false, "freeze the working window under faults (disable adaptive re-solve)")
+	workers := flag.Int("workers", 0, "simulation worker goroutines (>1 = conservative parallel engine; results are byte-identical at any count; STRONGHOLD only)")
 	flag.Parse()
 
 	if *functional {
@@ -79,7 +80,7 @@ func main() {
 		res, err := stronghold.Simulate(stronghold.SimConfig{
 			Layers: *layers, Hidden: *hidden, BatchSize: *batch,
 			Platform: plat, Method: m, Window: *window,
-			Faults: *faults, DisableAdapt: *noAdapt,
+			Faults: *faults, DisableAdapt: *noAdapt, Workers: *workers,
 		})
 		if err != nil {
 			fatalf("%s: %v", name, err)

@@ -141,31 +141,32 @@ func TestPromoteFix(t *testing.T) {
 	}
 }
 
-// TestBoundaryRevert is the acceptance gate in test form: strip the
-// //vet:boundary annotations from a copy of the seeded
-// internal/sim/parallel package and the tree must stop being clean.
-func TestBoundaryRevert(t *testing.T) {
-	loader := newTestLoader(t)
+// revertedParallel copies the non-test files of internal/sim/parallel
+// into a scratch package, stripping //vet:boundary annotations from
+// the files named in strip (nil strips every .go file), and returns
+// the loaded package's diagnostics under the full default rule set.
+func revertedParallel(t *testing.T, loader *Loader, strip map[string]bool) []Diagnostic {
+	t.Helper()
 	src := filepath.Join("..", "sim", "parallel")
 	dir, err := os.MkdirTemp("testdata", "reverted-")
 	if err != nil {
 		t.Fatalf("MkdirTemp: %v", err)
 	}
-	defer os.RemoveAll(dir)
+	t.Cleanup(func() { os.RemoveAll(dir) })
 	entries, err := os.ReadDir(src)
 	if err != nil {
 		t.Fatalf("reading %s: %v", src, err)
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if strings.HasSuffix(name, "_test.go") {
+		if e.IsDir() || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
 		data, err := os.ReadFile(filepath.Join(src, name))
 		if err != nil {
 			t.Fatalf("reading %s: %v", name, err)
 		}
-		if strings.HasSuffix(name, ".go") {
+		if strings.HasSuffix(name, ".go") && (strip == nil || strip[name]) {
 			var kept []string
 			for _, line := range strings.Split(string(data), "\n") {
 				if strings.HasPrefix(strings.TrimSpace(line), "//vet:boundary") {
@@ -183,19 +184,41 @@ func TestBoundaryRevert(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loading reverted package: %v", err)
 	}
-	res := NewRunner().RunPackages([]*Package{pkg})
-	if len(res.Diags) == 0 {
-		t.Fatal("reverting //vet:boundary annotations must make the gate fail, got no diagnostics")
-	}
-	found := false
-	for _, d := range res.Diags {
-		if strings.Contains(d.Message, "engine-owning") {
-			found = true
-			break
+	return NewRunner().RunPackages([]*Package{pkg}).Diags
+}
+
+func wantDiag(t *testing.T, diags []Diagnostic, want string) {
+	t.Helper()
+	for _, d := range diags {
+		if strings.Contains(d.Message, want) {
+			return
 		}
 	}
-	if !found {
-		t.Errorf("want an enginepure engine-owning finding after revert; got:\n%s", renderDiags(res.Diags))
+	t.Errorf("want a finding containing %q after revert; got:\n%s", want, renderDiags(diags))
+}
+
+// TestBoundaryRevert is the acceptance gate in test form: strip the
+// //vet:boundary annotations from a copy of internal/sim/parallel and
+// the tree must stop being clean. Every file in the package imports
+// internal/sim, so a stripped file falls under enginepure's blanket
+// single-goroutine contract (the engine-owning scope subsumes the
+// milder unannotated-file syncscope check): the full strip and each
+// per-file strip must both fail. barrier.go is exercised individually
+// because it holds the least state — if any annotation could be
+// dropped silently, it would be that one.
+func TestBoundaryRevert(t *testing.T) {
+	loader := newTestLoader(t)
+	full := revertedParallel(t, loader, nil)
+	if len(full) == 0 {
+		t.Fatal("reverting //vet:boundary annotations must make the gate fail, got no diagnostics")
+	}
+	wantDiag(t, full, "engine-owning")
+	for _, file := range []string{"barrier.go", "partition.go", "engine.go"} {
+		partial := revertedParallel(t, loader, map[string]bool{file: true})
+		if len(partial) == 0 {
+			t.Fatalf("reverting %s's annotation must make the gate fail, got no diagnostics", file)
+		}
+		wantDiag(t, partial, "engine-owning")
 	}
 }
 

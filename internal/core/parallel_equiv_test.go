@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"stronghold/internal/fault"
+	"stronghold/internal/hw"
+	"stronghold/internal/metrics"
+	"stronghold/internal/modelcfg"
+	"stronghold/internal/perf"
+	"stronghold/internal/sim"
+	"stronghold/internal/trace"
+)
+
+// The differential serial↔parallel matrix: every determinism scenario
+// and every chaos plan, executed serially and at several worker counts,
+// must produce byte-identical Chrome traces, byte-identical metrics
+// exports, and identical IterationResult counters. This is the
+// acceptance gate for the conservative parallel engine — its claim is
+// not "close enough", it is "the same bytes".
+
+type equivScenario struct {
+	name   string
+	feat   Features
+	jitter float64
+	plan   string
+}
+
+func equivMatrix() []equivScenario {
+	cases := []equivScenario{
+		{name: "default", feat: DefaultFeatures()},
+		{name: "multistream", feat: Features{ConcurrentOptimizers: true, UserLevelMemMgmt: true, Streams: 2}},
+		{name: "baseline-no-opt", feat: Features{Streams: 1}},
+		{name: "nvme", feat: Features{ConcurrentOptimizers: true, UserLevelMemMgmt: true, Streams: 1, UseNVMe: true}},
+		{name: "jittered", feat: DefaultFeatures(), jitter: 0.1},
+	}
+	for _, cp := range chaosPlans {
+		cases = append(cases, equivScenario{name: "chaos-" + cp.name, feat: DefaultFeatures(), plan: cp.plan})
+	}
+	return cases
+}
+
+// runAtWorkers runs one full simulation of the scenario at the given
+// worker count (0 = plain serial engine) and lookahead, with a metrics
+// collector installed, returning the result, the Chrome trace bytes,
+// and the concatenated canonical metric exports.
+func runAtWorkers(t *testing.T, sc equivScenario, workers int, lookahead sim.Time) (perf.IterationResult, []byte, []byte) {
+	t.Helper()
+	e := NewEngine(perf.NewModel(modelcfg.Config1p7B(), hw.V100Platform()))
+	e.Feat = sc.feat
+	e.TransferJitter = sc.jitter
+	e.Workers = workers
+	e.Lookahead = lookahead
+	if sc.plan != "" {
+		p, err := fault.ParsePlan(sc.plan)
+		if err != nil {
+			t.Fatalf("parsing plan %q: %v", sc.plan, err)
+		}
+		e.Faults = p
+	}
+	mc := metrics.New()
+	e.Metrics = mc
+	tr := trace.New()
+	res := e.Run(3, tr)
+	if res.OOM {
+		t.Fatalf("1.7B must fit: %s", res.OOMDetail)
+	}
+	raw, err := tr.ChromeJSON()
+	if err != nil {
+		t.Fatalf("serializing trace: %v", err)
+	}
+	var exp bytes.Buffer
+	if err := mc.WritePrometheus(&exp); err != nil {
+		t.Fatalf("prometheus export: %v", err)
+	}
+	if err := mc.WriteJSON(&exp); err != nil {
+		t.Fatalf("json export: %v", err)
+	}
+	if err := mc.WriteCSV(&exp); err != nil {
+		t.Fatalf("csv export: %v", err)
+	}
+	return res, raw, exp.Bytes()
+}
+
+// equivWorkerCounts returns the worker counts the matrix compares
+// against serial: 2, 4, and GOMAXPROCS (deduplicated).
+func equivWorkerCounts() []int {
+	counts := []int{2, 4}
+	if p := runtime.GOMAXPROCS(0); p != 2 && p != 4 {
+		counts = append(counts, p)
+	}
+	return counts
+}
+
+func TestParallelEquivalenceMatrix(t *testing.T) {
+	for _, sc := range equivMatrix() {
+		t.Run(sc.name, func(t *testing.T) {
+			wantRes, wantTrace, wantExp := runAtWorkers(t, sc, 0, 0)
+			if wantRes.Steps == 0 {
+				t.Fatal("serial engine reported zero steps")
+			}
+			if wantRes.MetricSamples == 0 {
+				t.Fatal("serial collector recorded zero timeline samples")
+			}
+			for _, w := range equivWorkerCounts() {
+				res, traceBytes, exp := runAtWorkers(t, sc, w, 0)
+				if res != wantRes {
+					t.Errorf("workers=%d: iteration result diverged from serial:\n  %+v\n  %+v", w, res, wantRes)
+				}
+				if !bytes.Equal(traceBytes, wantTrace) {
+					t.Errorf("workers=%d: Chrome trace diverged from serial (%d vs %d bytes)", w, len(traceBytes), len(wantTrace))
+				}
+				if !bytes.Equal(exp, wantExp) {
+					t.Errorf("workers=%d: metrics exports diverged from serial (%d vs %d bytes)", w, len(exp), len(wantExp))
+				}
+			}
+		})
+	}
+}
+
+// TestParallelEquivalenceAcrossLookaheads pins the conservative
+// engine's second independence claim: the lookahead is a staging
+// granularity, not a semantic knob. Any positive value — from a 1µs
+// window forcing thousands of barrier rounds to a 100ms window staging
+// whole iterations — produces the serial bytes.
+func TestParallelEquivalenceAcrossLookaheads(t *testing.T) {
+	sc := equivScenario{name: "default", feat: DefaultFeatures()}
+	wantRes, wantTrace, wantExp := runAtWorkers(t, sc, 0, 0)
+	for _, la := range []sim.Time{1_000, 1_000_000, 100_000_000} {
+		res, traceBytes, exp := runAtWorkers(t, sc, 4, la)
+		if res != wantRes {
+			t.Errorf("lookahead=%d: iteration result diverged from serial:\n  %+v\n  %+v", la, res, wantRes)
+		}
+		if !bytes.Equal(traceBytes, wantTrace) {
+			t.Errorf("lookahead=%d: Chrome trace diverged from serial", la)
+		}
+		if !bytes.Equal(exp, wantExp) {
+			t.Errorf("lookahead=%d: metrics exports diverged from serial", la)
+		}
+	}
+}

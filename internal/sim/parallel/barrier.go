@@ -10,50 +10,80 @@ import (
 
 // Barrier is the lookahead barrier: the synchronization point where
 // partitions receive their next safe horizon and surrender their due
-// events. It is owned by the `barrier` boundary. The channel exists so
-// future workers can block on round completion; it carries no owned
-// state.
+// events. It is owned by the `barrier` boundary.
+//
+// A round channel once lived here, written with a non-blocking send
+// that nothing received. The engine's round-completion path turned out
+// not to need it — workers are joined with a WaitGroup per staging
+// round, and Advance itself is the only cross-partition rendezvous —
+// so it was deleted rather than wired in; TestBarrierContention pins
+// the behavior that a full round of concurrent grants neither
+// deadlocks nor loses one.
 type Barrier struct {
 	mu        sync.Mutex
 	lookahead sim.Time
 	now       sim.Time
-	round     chan struct{}
 }
 
-// NewBarrier returns a barrier granting horizons in steps of the given
-// lookahead.
+// NewBarrier returns a barrier granting horizons that extend lookahead
+// nanoseconds past the earliest pending event.
 func NewBarrier(lookahead sim.Time) *Barrier {
-	return &Barrier{lookahead: lookahead, round: make(chan struct{}, 1)}
+	return &Barrier{lookahead: lookahead}
 }
 
-// Now returns the barrier's current global virtual time.
+// Now returns the barrier's current global virtual time — the highest
+// horizon it has granted so far.
 func (b *Barrier) Now() sim.Time {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.now
 }
 
-// Advance moves global time forward by one lookahead window and grants
-// the new horizon to every partition. It is a declared merge point for
-// the partition boundary: the only sanctioned code path, outside the
-// partition files themselves, that reaches into partition state. The
-// nested locking below follows the declared order
-// Barrier.mu < Partition.mu exactly; syncscope verifies it.
-func (b *Barrier) Advance(parts []*Partition) sim.Time {
+// Advance opens the next conservative round: it finds the earliest
+// pending event across the partitions, moves global time to that
+// event's due time plus the lookahead (clamped to limit), and grants
+// the new horizon to every partition. It reports false — granting
+// nothing — when no event is pending at or before limit.
+//
+// The lookahead is a staging granularity, not a safety bound: the
+// engine executes merged rounds in the one global order regardless, so
+// any positive lookahead yields byte-identical results (DESIGN.md
+// §14); a larger one just stages more events per barrier crossing.
+//
+// Advance is a declared merge point for the partition boundary: the
+// only sanctioned code path, outside the partition files themselves,
+// that reaches into partition state. The nested locking below follows
+// the declared order Barrier.mu < Partition.mu exactly; syncscope
+// verifies it.
+func (b *Barrier) Advance(parts []*Partition, limit sim.Time) (sim.Time, bool) {
 	b.mu.Lock()
-	b.now += b.lookahead
-	h := b.now
+	defer b.mu.Unlock()
+	next := sim.Time(-1)
 	for _, p := range parts {
 		p.mu.Lock()
-		if h > p.horizon {
-			p.horizon = h
+		for _, e := range p.events {
+			if next < 0 || e.At < next {
+				next = e.At
+			}
 		}
 		p.mu.Unlock()
 	}
-	b.mu.Unlock()
-	select {
-	case b.round <- struct{}{}:
-	default:
+	if next < 0 || next > limit {
+		return b.now, false
 	}
-	return h
+	h := next + b.lookahead
+	if h > limit || h < next { // clamp, and absorb overflow past limit
+		h = limit
+	}
+	if h > b.now {
+		b.now = h
+	}
+	for _, p := range parts {
+		p.mu.Lock()
+		if b.now > p.horizon {
+			p.horizon = b.now
+		}
+		p.mu.Unlock()
+	}
+	return b.now, true
 }

@@ -1,0 +1,214 @@
+//vet:boundary partition
+
+// engine.go wires the serial sim.Engine onto the partition/barrier
+// skeleton: a conservative, lookahead-windowed parallel execution mode
+// (ROADMAP item 1). The division of labor per barrier round:
+//
+//   - workers concurrently drain each partition up to the granted
+//     horizon and sort the extracted run (Partition.TakeDue) — the
+//     queue maintenance is the parallel work;
+//   - the coordinator k-way-merges the sorted runs (MergeRuns) and
+//     executes the merged window serially through sim.Engine.Dispatch,
+//     in the exact (At, Seq) order the serial heap would have used.
+//
+// Callbacks interact freely through shared simulator state (signals,
+// resources, the shared processor), so they can never run concurrently
+// without giving up determinism — this engine is conservative about
+// exactly that, and byte-identity to the serial engine is proved by
+// the differential matrix in internal/core and argued in DESIGN.md
+// §14. Events admitted while a round executes land back in the open
+// window when due inside it (preserving the serial interleaving) and
+// on their component's partition otherwise.
+package parallel
+
+import (
+	"container/heap"
+	"math"
+	"sync"
+
+	"stronghold/internal/sim"
+)
+
+// DefaultLookahead is the staging window granted past the earliest
+// pending event when Options.Lookahead is zero. Correctness never
+// depends on it (see Barrier.Advance); it only trades barrier
+// crossings against staged-batch size.
+const DefaultLookahead = sim.Time(1e6) // 1ms of virtual time
+
+// Options configures the parallel execution mode.
+type Options struct {
+	// Workers is the number of staging goroutines draining partitions
+	// between barriers. Values below 1 are treated as 1.
+	Workers int
+	// Lookahead is the virtual-time depth of each staging round past
+	// the earliest pending event; 0 means DefaultLookahead.
+	Lookahead sim.Time
+}
+
+// Engine is the conservative parallel frontend installed on a
+// sim.Engine. It owns the partition queues and the open execution
+// window; the sim engine keeps the clock, the step counter and the
+// global admission sequence, so every observable the serial loop
+// produces is produced here by the same code.
+type Engine struct {
+	core      *sim.Engine
+	workers   int
+	lookahead sim.Time
+	parts     []*Partition
+
+	// Round state: horizon is the open window's upper bound, window the
+	// due events not yet executed, draining true while the coordinator
+	// is popping the window (so admissions due inside it are inserted
+	// directly, exactly where the serial heap would have put them).
+	horizon  sim.Time
+	window   windowHeap
+	draining bool
+}
+
+// Attach installs the parallel frontend on eng: every subsequently
+// admitted event routes to a partition queue (or the open window), and
+// eng.Run/RunUntil delegate to the barrier-round loop below. It must
+// be called before any event is scheduled; sim.Engine.SetFrontend
+// enforces that.
+func Attach(eng *sim.Engine, opts Options) *Engine {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	if opts.Lookahead <= 0 {
+		opts.Lookahead = DefaultLookahead
+	}
+	pe := &Engine{core: eng, workers: opts.Workers, lookahead: opts.Lookahead}
+	eng.SetFrontend(pe, pe.admit)
+	return pe
+}
+
+// admit receives every event the sim engine admits. Seq is the
+// engine's global admission counter: admissions happen serially on the
+// coordinator goroutine (initial scheduling before Run, then only from
+// inside executing callbacks), so (At, Seq) is exactly the serial
+// heap's priority for this event.
+func (pe *Engine) admit(part int, at sim.Time, seq uint64, fn func()) {
+	ev := Event{At: at, Part: part, Seq: seq, Fn: fn}
+	if pe.draining && at <= pe.horizon {
+		heap.Push(&pe.window, ev)
+		return
+	}
+	pe.partition(part).Admit(ev)
+}
+
+// partition returns the queue for a partition id, growing the set on
+// first use (component affinities are assigned before any event is
+// admitted, so growth happens deterministically during setup).
+func (pe *Engine) partition(id int) *Partition {
+	for len(pe.parts) <= id {
+		pe.parts = append(pe.parts, NewPartition(len(pe.parts)))
+	}
+	return pe.parts[id]
+}
+
+// Run drains the simulation to completion and returns the final
+// virtual time.
+func (pe *Engine) Run() sim.Time {
+	pe.drain(math.MaxInt64)
+	return pe.core.Now()
+}
+
+// RunUntil executes events due at or before deadline, advances the
+// clock to exactly deadline, and reports whether everything drained.
+func (pe *Engine) RunUntil(deadline sim.Time) bool {
+	pe.drain(deadline)
+	pe.core.AdvanceClock(deadline)
+	return pe.Pending() == 0
+}
+
+// Pending returns the number of staged events across all partitions
+// and the open window.
+func (pe *Engine) Pending() int {
+	n := len(pe.window)
+	for _, p := range pe.parts {
+		n += p.Len()
+	}
+	return n
+}
+
+// drain runs barrier rounds until no event is due at or before limit.
+//
+// Correctness sketch (the full argument is DESIGN.md §14): at every
+// window pop, the window holds exactly the pending events with
+// At <= horizon — the staged batch held them at the barrier, and
+// admissions during the round are inserted on arrival when due inside
+// the window. The popped minimum under (At, Seq) is therefore the
+// globally earliest pending event, i.e. the event the serial loop
+// would pop next; by induction the two engines execute the same
+// events, in the same order, at the same clock, with the same
+// admission sequences.
+func (pe *Engine) drain(limit sim.Time) {
+	b := NewBarrier(pe.lookahead)
+	for {
+		h, ok := b.Advance(pe.parts, limit)
+		if !ok {
+			return
+		}
+		batch := MergeRuns(pe.stage())
+		// A sorted slice satisfies the heap property as-is.
+		pe.window = append(pe.window[:0], batch...)
+		pe.horizon = h
+		pe.draining = true
+		for len(pe.window) > 0 {
+			ev := heap.Pop(&pe.window).(Event)
+			pe.core.Dispatch(ev.At, ev.Fn)
+		}
+		pe.draining = false
+	}
+}
+
+// stage has the workers concurrently extract and sort every
+// partition's due events. Partitions are dealt round-robin, so each is
+// touched by exactly one goroutine per round — the single-writer
+// discipline the partition boundary declares. The returned runs are
+// indexed by partition, not by worker: the result is independent of
+// scheduling order by construction.
+func (pe *Engine) stage() [][]Event {
+	parts := pe.parts
+	runs := make([][]Event, len(parts))
+	n := pe.workers
+	if n > len(parts) {
+		n = len(parts)
+	}
+	if n <= 1 {
+		for i, p := range parts {
+			runs[i] = p.TakeDue()
+		}
+		return runs
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(parts); i += n {
+				runs[i] = parts[i].TakeDue()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return runs
+}
+
+// windowHeap is the open round's execution heap, ordered by eventLess
+// — (At, Seq) first, so with engine-stamped global sequences the pop
+// order is the serial engine's pop order.
+type windowHeap []Event
+
+func (h windowHeap) Len() int           { return len(h) }
+func (h windowHeap) Less(i, j int) bool { return eventLess(h[i], h[j]) }
+func (h windowHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *windowHeap) Push(x any)        { *h = append(*h, x.(Event)) }
+func (h *windowHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1].Fn = nil
+	*h = old[:n-1]
+	return ev
+}

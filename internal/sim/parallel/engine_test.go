@@ -1,0 +1,162 @@
+package parallel
+
+import (
+	"reflect"
+	"testing"
+
+	"stronghold/internal/sim"
+)
+
+type record struct {
+	at    sim.Time
+	label string
+}
+
+// buildWorkload schedules a representative event cascade on eng:
+// FIFO resources on distinct partitions, a capacity-shared processor,
+// a least-loaded pool, cross-resource dependency chains, an event far
+// beyond the first lookahead window, and nested admissions landing both
+// inside the open execution window and several rounds ahead. The
+// returned log records (virtual time, label) in execution order — the
+// observable the serial and parallel engines must agree on byte for
+// byte.
+func buildWorkload(eng *sim.Engine) *[]record {
+	log := new([]record)
+	rec := func(label string) func(start, end sim.Time) {
+		return func(start, end sim.Time) { *log = append(*log, record{end, label}) }
+	}
+	dma := sim.NewResource(eng, "dma")
+	dma.SetPartition(1)
+	disk := sim.NewResource(eng, "disk")
+	disk.SetPartition(2)
+	sp := sim.NewSharedProcessor(eng, "sm", 1e9)
+	sp.SetPartition(3)
+	pool := sim.NewPool(eng, "cpu", 2)
+	for i, w := range pool.Workers() {
+		w.SetPartition(4 + i)
+	}
+	for i := 0; i < 5; i++ {
+		up := dma.SubmitAfter(nil, sim.Time(70+13*i), rec("up"))
+		k := sp.Submit(float64(40+10*i), 0.5e9, []*sim.Signal{up}, rec("kernel"))
+		down := disk.SubmitAfter([]*sim.Signal{k}, sim.Time(90+7*i), rec("down"))
+		pool.SubmitAfter([]*sim.Signal{down}, sim.Time(55+3*i), rec("opt"))
+	}
+	eng.Schedule(100000, func() { *log = append(*log, record{eng.Now(), "late"}) })
+	eng.Schedule(40, func() {
+		*log = append(*log, record{eng.Now(), "nest-outer"})
+		eng.Schedule(1, func() { *log = append(*log, record{eng.Now(), "nest-inner"}) })
+		eng.SchedulePart(2, 5000, func() { *log = append(*log, record{eng.Now(), "nest-far"}) })
+	})
+	return log
+}
+
+// TestParallelMatchesSerialRun is the in-package differential test: the
+// same workload on a plain serial engine and on parallel frontends
+// across worker counts and lookaheads must yield the identical final
+// time, step count, and execution log. The full-simulator matrix
+// (traces, metrics, chaos plans) lives in internal/core.
+func TestParallelMatchesSerialRun(t *testing.T) {
+	serial := sim.NewEngine()
+	wantLog := buildWorkload(serial)
+	wantEnd := serial.Run()
+	wantSteps := serial.Steps()
+	if len(*wantLog) == 0 {
+		t.Fatal("workload produced an empty log")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, lookahead := range []sim.Time{1, 100, DefaultLookahead} {
+			eng := sim.NewEngine()
+			pe := Attach(eng, Options{Workers: workers, Lookahead: lookahead})
+			gotLog := buildWorkload(eng)
+			gotEnd := eng.Run()
+			if gotEnd != wantEnd {
+				t.Errorf("workers=%d lookahead=%d: end %d, want %d", workers, lookahead, gotEnd, wantEnd)
+			}
+			if eng.Steps() != wantSteps {
+				t.Errorf("workers=%d lookahead=%d: steps %d, want %d", workers, lookahead, eng.Steps(), wantSteps)
+			}
+			if !reflect.DeepEqual(*gotLog, *wantLog) {
+				t.Errorf("workers=%d lookahead=%d: execution log diverged\ngot:  %v\nwant: %v",
+					workers, lookahead, *gotLog, *wantLog)
+			}
+			if pe.Pending() != 0 || eng.Pending() != 0 {
+				t.Errorf("workers=%d lookahead=%d: %d events still pending after Run", workers, lookahead, pe.Pending())
+			}
+		}
+	}
+}
+
+func TestParallelRunUntilMatchesSerial(t *testing.T) {
+	deadlines := []sim.Time{0, 39, 40, 500, 5000, 99999, 100000, 200000}
+	serial := sim.NewEngine()
+	sLog := buildWorkload(serial)
+	eng := sim.NewEngine()
+	Attach(eng, Options{Workers: 4, Lookahead: 64})
+	pLog := buildWorkload(eng)
+	for _, d := range deadlines {
+		sDone := serial.RunUntil(d)
+		pDone := eng.RunUntil(d)
+		if sDone != pDone {
+			t.Fatalf("RunUntil(%d): drained %v, serial %v", d, pDone, sDone)
+		}
+		if serial.Now() != eng.Now() {
+			t.Fatalf("RunUntil(%d): now %d, serial %d", d, eng.Now(), serial.Now())
+		}
+		if serial.Pending() != eng.Pending() {
+			t.Fatalf("RunUntil(%d): pending %d, serial %d", d, eng.Pending(), serial.Pending())
+		}
+		if !reflect.DeepEqual(*pLog, *sLog) {
+			t.Fatalf("RunUntil(%d): log diverged\ngot:  %v\nwant: %v", d, *pLog, *sLog)
+		}
+	}
+	if !reflect.DeepEqual(*pLog, *sLog) || len(*pLog) == 0 {
+		t.Fatal("final logs differ or empty")
+	}
+}
+
+func TestAttachAfterSchedulingPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Schedule(1, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Attach after scheduling did not panic")
+		}
+	}()
+	Attach(eng, Options{Workers: 2})
+}
+
+func TestDoubleAttachPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	Attach(eng, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Attach did not panic")
+		}
+	}()
+	Attach(eng, Options{})
+}
+
+func TestAttachNormalizesOptions(t *testing.T) {
+	eng := sim.NewEngine()
+	pe := Attach(eng, Options{Workers: -3, Lookahead: -1})
+	if pe.workers != 1 {
+		t.Fatalf("workers = %d, want 1", pe.workers)
+	}
+	if pe.lookahead != DefaultLookahead {
+		t.Fatalf("lookahead = %d, want DefaultLookahead %d", pe.lookahead, DefaultLookahead)
+	}
+	eng.Schedule(3, func() {})
+	eng.SchedulePart(2, 5, func() {})
+	if pe.Pending() != 2 || eng.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", pe.Pending())
+	}
+	if got := len(pe.parts); got != 3 {
+		t.Fatalf("partitions grown to %d, want 3 (ids 0..2)", got)
+	}
+	if end := eng.Run(); end != 5 {
+		t.Fatalf("end = %d, want 5", end)
+	}
+	if pe.Pending() != 0 {
+		t.Fatalf("Pending = %d after Run, want 0", pe.Pending())
+	}
+}

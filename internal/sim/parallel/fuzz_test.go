@@ -1,0 +1,68 @@
+package parallel
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// FuzzMergeOrdered feeds the merge layer random (At, Part, Seq) sets —
+// decoded from raw bytes, 3 bytes per event — distributed to the
+// partitions in two different fill orders (identity, then a
+// permutation derived from permSeed). The merged output must be
+// identical either way, totally ordered under eventLess, and MergeRuns
+// over per-partition sorted runs must agree with the flat global sort.
+// The seed corpus lives in testdata/fuzz/FuzzMergeOrdered.
+func FuzzMergeOrdered(f *testing.F) {
+	f.Add([]byte{}, uint64(0))
+	f.Add([]byte{7, 0, 1, 7, 1, 1, 3, 0, 2}, uint64(1))
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 0, 2, 0, 0, 3, 0}, uint64(42))
+	f.Add([]byte{255, 255, 255, 1, 2, 3, 1, 2, 3, 9, 9, 9}, uint64(7))
+	f.Fuzz(func(t *testing.T, data []byte, permSeed uint64) {
+		const nparts = 4
+		var raw []rawEvent
+		for i := 0; i+3 <= len(data) && len(raw) < 512; i += 3 {
+			raw = append(raw, rawEvent{At: data[i], Part: data[i+1], Seq: data[i+2]})
+		}
+		evs := buildEvents(raw, nparts)
+		identity := make([]int, len(evs))
+		for i := range identity {
+			identity[i] = i
+		}
+		shuffled := append([]int(nil), identity...)
+		rng := rand.New(rand.NewSource(int64(permSeed)))
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		a := mergeShuffled(evs, nparts, identity)
+		b := mergeShuffled(evs, nparts, shuffled)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("fill order changed merge output:\n%v\n%v", a, b)
+		}
+		if len(a) != len(evs) {
+			t.Fatalf("merge returned %d events, want %d", len(a), len(evs))
+		}
+		for i := 1; i < len(a); i++ {
+			if eventLess(a[i], a[i-1]) {
+				t.Fatalf("merge output not ordered at %d: %v after %v", i, a[i], a[i-1])
+			}
+		}
+		byPart := make([][]Event, nparts)
+		for _, e := range evs {
+			byPart[e.Part] = append(byPart[e.Part], e)
+		}
+		for _, r := range byPart {
+			sortEvents(r)
+		}
+		flat := append([]Event(nil), evs...)
+		sortEvents(flat)
+		got := MergeRuns(byPart)
+		if len(flat) == 0 {
+			if got != nil {
+				t.Fatalf("MergeRuns of nothing = %v, want nil", got)
+			}
+		} else if !reflect.DeepEqual(got, flat) {
+			t.Fatalf("MergeRuns = %v, want %v", got, flat)
+		}
+	})
+}

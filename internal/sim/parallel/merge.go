@@ -2,30 +2,72 @@ package parallel
 
 import "sort"
 
+// eventLess is the one global event order: virtual due time, then
+// admission sequence, then partition id. With engine-stamped global
+// sequences (the parallel execution mode) the first two keys are
+// exactly the serial engine's heap order and Part never decides; with
+// partition-local sequences (standalone use) Part breaks the
+// cross-partition ties, keeping the order total either way.
+func eventLess(a, b Event) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Seq != b.Seq {
+		return a.Seq < b.Seq
+	}
+	return a.Part < b.Part
+}
+
+// sortEvents sorts events into the global order.
+func sortEvents(evs []Event) {
+	sort.Slice(evs, func(i, j int) bool { return eventLess(evs[i], evs[j]) })
+}
+
 // MergeOrdered drains every partition's due events and returns them in
-// the one global order the serial engine would have executed them:
-// by virtual due time, then by partition id, then by partition-local
-// sequence number. The comparator is total, so the result is a pure
+// the one global order the serial engine would have executed them (see
+// eventLess). The comparator is total, so the result is a pure
 // function of the partition contents regardless of worker
 // interleaving — which is exactly what mergepure verifies statically.
 //
-// MergeOrdered is the declared merge function of the partition
-// boundary: the sanctioned point where partition-owned state crosses
-// into unannotated code, as unowned []Event.
+// MergeOrdered is a declared merge function of the partition boundary:
+// a sanctioned point where partition-owned state crosses into
+// unannotated code, as unowned []Event.
 func MergeOrdered(parts []*Partition) []Event {
 	var out []Event
 	for _, p := range parts {
 		out = append(out, p.take()...)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.At != b.At {
-			return a.At < b.At
+	sortEvents(out)
+	return out
+}
+
+// MergeRuns merges per-partition runs that are already sorted (the
+// output of concurrent Partition.TakeDue calls) into the global order.
+// It is the parallel engine's round merge: a deterministic k-way merge
+// whose result depends only on the run contents, never on which worker
+// produced which run first.
+func MergeRuns(runs [][]Event) []Event {
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]Event, 0, total)
+	cursors := make([]int, len(runs))
+	for len(out) < total {
+		best := -1
+		for i, r := range runs {
+			if cursors[i] >= len(r) {
+				continue
+			}
+			if best < 0 || eventLess(r[cursors[i]], runs[best][cursors[best]]) {
+				best = i
+			}
 		}
-		if a.Part != b.Part {
-			return a.Part < b.Part
-		}
-		return a.Seq < b.Seq
-	})
+		out = append(out, runs[best][cursors[best]])
+		cursors[best]++
+	}
 	return out
 }

@@ -1,12 +1,15 @@
 package parallel
 
 import (
+	"math"
+	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
-)
+	"testing/quick"
 
-// All tests here are serial and deterministic: the package is the
-// static contract's exercise ground, not a parallel runtime yet.
+	"stronghold/internal/sim"
+)
 
 func TestEnqueueAndHorizon(t *testing.T) {
 	p := NewPartition(3)
@@ -22,14 +25,50 @@ func TestEnqueueAndHorizon(t *testing.T) {
 		t.Fatalf("Horizon = %d before any grant, want 0", p.Horizon())
 	}
 	b := NewBarrier(20)
-	if got := b.Advance([]*Partition{p}); got != 20 {
-		t.Fatalf("Advance = %d, want 20", got)
+	h, ok := b.Advance([]*Partition{p}, 100)
+	if !ok || h != 25 {
+		t.Fatalf("Advance = (%d, %v), want (25, true): earliest event 5 + lookahead 20", h, ok)
 	}
-	if p.Horizon() != 20 {
-		t.Fatalf("Horizon = %d after grant, want 20", p.Horizon())
+	if p.Horizon() != 25 {
+		t.Fatalf("Horizon = %d after grant, want 25", p.Horizon())
 	}
-	if b.Now() != 20 {
-		t.Fatalf("Now = %d, want 20", b.Now())
+	if b.Now() != 25 {
+		t.Fatalf("Now = %d, want 25", b.Now())
+	}
+}
+
+func TestAdvanceWithNothingDue(t *testing.T) {
+	b := NewBarrier(10)
+	if h, ok := b.Advance(nil, 100); ok || h != 0 {
+		t.Fatalf("Advance with no partitions = (%d, %v), want (0, false)", h, ok)
+	}
+	p := NewPartition(0)
+	if h, ok := b.Advance([]*Partition{p}, 100); ok || h != 0 {
+		t.Fatalf("Advance with empty partition = (%d, %v), want (0, false)", h, ok)
+	}
+	p.Enqueue(50, nil)
+	if _, ok := b.Advance([]*Partition{p}, 49); ok {
+		t.Fatal("Advance granted a horizon for an event beyond the limit")
+	}
+	if p.Horizon() != 0 {
+		t.Fatalf("Horizon = %d after refused rounds, want 0", p.Horizon())
+	}
+}
+
+func TestAdvanceClampsToLimitAndAbsorbsOverflow(t *testing.T) {
+	p := NewPartition(0)
+	p.Enqueue(5, nil)
+	b := NewBarrier(100)
+	if h, ok := b.Advance([]*Partition{p}, 30); !ok || h != 30 {
+		t.Fatalf("Advance = (%d, %v), want clamp to limit (30, true)", h, ok)
+	}
+	// Lookahead so large that next+lookahead overflows int64: the
+	// clamp must absorb the wraparound, not grant a negative horizon.
+	p2 := NewPartition(0)
+	p2.Enqueue(10, nil)
+	b2 := NewBarrier(math.MaxInt64)
+	if h, ok := b2.Advance([]*Partition{p2}, math.MaxInt64); !ok || h != math.MaxInt64 {
+		t.Fatalf("Advance = (%d, %v), want overflow absorbed to (MaxInt64, true)", h, ok)
 	}
 }
 
@@ -37,14 +76,14 @@ func TestMergeOrderedIsDeterministic(t *testing.T) {
 	build := func() []*Partition {
 		p0, p1 := NewPartition(0), NewPartition(1)
 		// Same due times across partitions; ties must break by
-		// (partition, sequence), never by drain order.
+		// (sequence, partition), never by drain order.
 		p1.Enqueue(7, nil)
 		p0.Enqueue(7, nil)
 		p0.Enqueue(3, nil)
 		p1.Enqueue(3, nil)
 		p0.Enqueue(7, nil)
 		b := NewBarrier(10)
-		b.Advance([]*Partition{p0, p1})
+		b.Advance([]*Partition{p0, p1}, 100)
 		return []*Partition{p0, p1}
 	}
 	key := func(events []Event) [][3]int64 {
@@ -56,7 +95,7 @@ func TestMergeOrderedIsDeterministic(t *testing.T) {
 	}
 	first := key(MergeOrdered(build()))
 	second := key(MergeOrdered(build()))
-	want := [][3]int64{{3, 0, 1}, {3, 1, 1}, {7, 0, 0}, {7, 0, 2}, {7, 1, 0}}
+	want := [][3]int64{{3, 0, 1}, {3, 1, 1}, {7, 0, 0}, {7, 1, 0}, {7, 0, 2}}
 	if !reflect.DeepEqual(first, want) {
 		t.Fatalf("merge order = %v, want %v", first, want)
 	}
@@ -70,7 +109,7 @@ func TestEventsBeyondHorizonStayQueued(t *testing.T) {
 	p.Enqueue(5, nil)
 	p.Enqueue(25, nil)
 	b := NewBarrier(10)
-	b.Advance([]*Partition{p})
+	b.Advance([]*Partition{p}, 100) // horizon 15: only t=5 due
 	got := MergeOrdered([]*Partition{p})
 	if len(got) != 1 || got[0].At != 5 {
 		t.Fatalf("merged %v, want only the event at t=5", got)
@@ -78,13 +117,160 @@ func TestEventsBeyondHorizonStayQueued(t *testing.T) {
 	if p.Len() != 1 {
 		t.Fatalf("Len = %d after partial drain, want 1", p.Len())
 	}
-	b.Advance([]*Partition{p}) // horizon 20: t=25 still not due
-	if got := MergeOrdered([]*Partition{p}); len(got) != 0 {
-		t.Fatalf("merged %v at horizon 20, want nothing", got)
+	if _, ok := b.Advance([]*Partition{p}, 20); ok {
+		t.Fatal("Advance granted a horizon past the limit for t=25")
 	}
-	b.Advance([]*Partition{p}) // horizon 30
+	b.Advance([]*Partition{p}, 100) // horizon 35
 	got = MergeOrdered([]*Partition{p})
 	if len(got) != 1 || got[0].At != 25 {
 		t.Fatalf("final merge %v, want the event at t=25", got)
+	}
+}
+
+func TestMergeRunsMatchesGlobalSort(t *testing.T) {
+	runs := [][]Event{
+		{{At: 1, Part: 0, Seq: 4}, {At: 3, Part: 0, Seq: 9}},
+		nil,
+		{{At: 1, Part: 1, Seq: 2}, {At: 2, Part: 1, Seq: 7}, {At: 3, Part: 1, Seq: 8}},
+		{{At: 0, Part: 2, Seq: 11}},
+	}
+	var all []Event
+	for _, r := range runs {
+		all = append(all, r...)
+	}
+	sortEvents(all)
+	got := MergeRuns(runs)
+	if !reflect.DeepEqual(got, all) {
+		t.Fatalf("MergeRuns = %v, want %v", got, all)
+	}
+	if MergeRuns(nil) != nil {
+		t.Fatal("MergeRuns(nil) should be nil")
+	}
+	if MergeRuns([][]Event{nil, {}}) != nil {
+		t.Fatal("MergeRuns of empty runs should be nil")
+	}
+}
+
+// TestBarrierContention pins the behavior the deleted round channel was
+// speculatively reserved for: a full round of concurrent Advance calls
+// under contention neither deadlocks nor drops a grant. Every caller
+// gets a horizon, the barrier clock only moves forward, and when the
+// dust settles every partition holds the final granted horizon.
+func TestBarrierContention(t *testing.T) {
+	const goroutines = 16
+	parts := make([]*Partition, 8)
+	for i := range parts {
+		parts[i] = NewPartition(i)
+		parts[i].Enqueue(sim.Time(10*(i+1)), nil)
+	}
+	b := NewBarrier(5)
+	horizons := make([]sim.Time, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h, ok := b.Advance(parts, 1000)
+			if !ok {
+				t.Errorf("goroutine %d: Advance dropped its grant", g)
+			}
+			horizons[g] = h
+		}(g)
+	}
+	wg.Wait()
+	final := b.Now()
+	if final < 15 {
+		t.Fatalf("final barrier time %d below first grant 15", final)
+	}
+	for g, h := range horizons {
+		if h < 15 || h > final {
+			t.Fatalf("goroutine %d got horizon %d outside [15, %d]", g, h, final)
+		}
+	}
+	for i, p := range parts {
+		if p.Horizon() != final {
+			t.Fatalf("partition %d horizon = %d, want final %d", i, p.Horizon(), final)
+		}
+	}
+}
+
+// rawEvent is the generator-friendly shape for the property and fuzz
+// tests: small value domains force At/Seq collisions so the tie-break
+// keys actually decide.
+type rawEvent struct {
+	At   uint8
+	Part uint8
+	Seq  uint8
+}
+
+func buildEvents(raw []rawEvent, nparts int) []Event {
+	evs := make([]Event, len(raw))
+	for i, r := range raw {
+		evs[i] = Event{At: sim.Time(r.At), Part: int(r.Part) % nparts, Seq: uint64(r.Seq)}
+	}
+	return evs
+}
+
+// mergeShuffled distributes evs to nparts partitions in the fill order
+// given by perm and merges them back. The property under test: the
+// result is independent of perm — fill order and worker interleaving
+// cannot leak into the merged order because the comparator is total.
+func mergeShuffled(evs []Event, nparts int, perm []int) []Event {
+	parts := make([]*Partition, nparts)
+	for i := range parts {
+		parts[i] = NewPartition(i)
+	}
+	for _, i := range perm {
+		parts[evs[i].Part].Admit(evs[i])
+	}
+	for _, p := range parts {
+		p.mu.Lock()
+		p.horizon = math.MaxInt64
+		p.mu.Unlock()
+	}
+	return MergeOrdered(parts)
+}
+
+func TestMergeOrderInvariantUnderFillOrder(t *testing.T) {
+	property := func(raw []rawEvent, seed int64) bool {
+		const nparts = 4
+		evs := buildEvents(raw, nparts)
+		identity := make([]int, len(evs))
+		for i := range identity {
+			identity[i] = i
+		}
+		shuffled := append([]int(nil), identity...)
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		a := mergeShuffled(evs, nparts, identity)
+		b := mergeShuffled(evs, nparts, shuffled)
+		if !reflect.DeepEqual(a, b) {
+			return false
+		}
+		for i := 1; i < len(a); i++ {
+			if eventLess(a[i], a[i-1]) {
+				return false
+			}
+		}
+		// MergeRuns over per-partition sorted runs must agree with the
+		// flat global sort.
+		byPart := make([][]Event, nparts)
+		for _, e := range evs {
+			byPart[e.Part] = append(byPart[e.Part], e)
+		}
+		for _, r := range byPart {
+			sortEvents(r)
+		}
+		flat := append([]Event(nil), evs...)
+		sortEvents(flat)
+		if len(flat) == 0 {
+			flat = nil
+		}
+		return reflect.DeepEqual(MergeRuns(byPart), flat)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
 	}
 }

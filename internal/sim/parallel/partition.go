@@ -19,9 +19,15 @@ import (
 // Event is one partition-local scheduled callback. It is the crossing
 // currency between boundaries — deliberately *not* an owned type, so
 // merged event sequences may flow freely once extracted in a
-// deterministic order. The (At, Part, Seq) triple is a total order:
-// At is the virtual due time, Part the owning partition's id, Seq the
-// partition-local admission counter.
+// deterministic order. The (At, Seq, Part) triple is a total order: At
+// is the virtual due time, Seq the admission counter, Part the owning
+// partition's id. When the parallel engine stages events, Seq is the
+// sim engine's *global* admission sequence — the same value the serial
+// heap tie-breaks on — which is what makes the merged order identical
+// to the serial execution order (DESIGN.md §14). Standalone partitions
+// filled through Enqueue stamp a partition-local Seq instead; the
+// order is then still total and deterministic, with Part breaking the
+// cross-partition ties.
 type Event struct {
 	At   sim.Time
 	Part int
@@ -59,6 +65,16 @@ func (p *Partition) Enqueue(at sim.Time, fn func()) {
 	p.seq++
 }
 
+// Admit appends an already-stamped event — the parallel engine's
+// admission path, where Seq is the sim engine's global sequence and
+// Part has been fixed by the component's affinity. Enqueue remains the
+// standalone path with partition-local stamping.
+func (p *Partition) Admit(ev Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.events = append(p.events, ev)
+}
+
 // Horizon returns the virtual time the partition may safely advance to,
 // as granted by the barrier.
 func (p *Partition) Horizon() sim.Time {
@@ -72,6 +88,17 @@ func (p *Partition) Len() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.events)
+}
+
+// TakeDue removes every event due at or before the granted horizon and
+// returns it sorted in the global (At, Seq, Part) order. This is the
+// per-partition work a staging worker performs concurrently between
+// barriers: the extraction and the sort touch only this partition's
+// state, so workers on different partitions never share anything.
+func (p *Partition) TakeDue() []Event {
+	due := p.take()
+	sortEvents(due)
+	return due
 }
 
 // take removes and returns every event due at or before the granted
