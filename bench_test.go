@@ -26,6 +26,7 @@ func pick(rows []expt.SizeRow, m modelcfg.Method) expt.SizeRow {
 }
 
 func BenchmarkTableI(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := expt.TableIRows()
 		if len(rows) == 0 {
@@ -36,6 +37,7 @@ func BenchmarkTableI(b *testing.B) {
 }
 
 func BenchmarkFigure1(b *testing.B) {
+	b.ReportAllocs()
 	var rows []expt.RelThroughputRow
 	for i := 0; i < b.N; i++ {
 		expt.Figure1a()
@@ -49,6 +51,7 @@ func BenchmarkFigure1(b *testing.B) {
 }
 
 func BenchmarkFigure4(b *testing.B) {
+	b.ReportAllocs()
 	var overlap float64
 	for i := 0; i < b.N; i++ {
 		r, err := expt.Figure4()
@@ -61,6 +64,7 @@ func BenchmarkFigure4(b *testing.B) {
 }
 
 func BenchmarkFigure6a(b *testing.B) {
+	b.ReportAllocs()
 	var rows []expt.SizeRow
 	for i := 0; i < b.N; i++ {
 		rows = expt.Figure6a()
@@ -71,6 +75,7 @@ func BenchmarkFigure6a(b *testing.B) {
 }
 
 func BenchmarkFigure6b(b *testing.B) {
+	b.ReportAllocs()
 	var rows []expt.SizeRow
 	for i := 0; i < b.N; i++ {
 		rows = expt.Figure6b()
@@ -80,6 +85,7 @@ func BenchmarkFigure6b(b *testing.B) {
 }
 
 func BenchmarkFigure7a(b *testing.B) {
+	b.ReportAllocs()
 	var rows []expt.ThroughputRow
 	for i := 0; i < b.N; i++ {
 		rows = expt.Figure7a()
@@ -92,6 +98,7 @@ func BenchmarkFigure7a(b *testing.B) {
 }
 
 func BenchmarkFigure7b(b *testing.B) {
+	b.ReportAllocs()
 	var rows []expt.ThroughputRow
 	for i := 0; i < b.N; i++ {
 		rows = expt.Figure7b()
@@ -104,6 +111,7 @@ func BenchmarkFigure7b(b *testing.B) {
 }
 
 func BenchmarkFigure8a(b *testing.B) {
+	b.ReportAllocs()
 	var rows []expt.RelThroughputRow
 	for i := 0; i < b.N; i++ {
 		rows = expt.Figure8a()
@@ -119,6 +127,7 @@ func BenchmarkFigure8a(b *testing.B) {
 }
 
 func BenchmarkFigure8b(b *testing.B) {
+	b.ReportAllocs()
 	var rows []expt.ScalingRow
 	for i := 0; i < b.N; i++ {
 		rows = expt.Figure8b()
@@ -133,6 +142,7 @@ func BenchmarkFigure8b(b *testing.B) {
 }
 
 func BenchmarkFigure9(b *testing.B) {
+	b.ReportAllocs()
 	var solved int
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -145,6 +155,7 @@ func BenchmarkFigure9(b *testing.B) {
 }
 
 func BenchmarkFigure10(b *testing.B) {
+	b.ReportAllocs()
 	var rows []expt.NVMeRow
 	for i := 0; i < b.N; i++ {
 		rows = expt.Figure10()
@@ -153,6 +164,7 @@ func BenchmarkFigure10(b *testing.B) {
 }
 
 func BenchmarkFigure11(b *testing.B) {
+	b.ReportAllocs()
 	var rows []expt.StreamRow
 	for i := 0; i < b.N; i++ {
 		rows = expt.Figure11()
@@ -167,6 +179,7 @@ func BenchmarkFigure11(b *testing.B) {
 }
 
 func BenchmarkFigure12(b *testing.B) {
+	b.ReportAllocs()
 	var rows []expt.DistRow
 	for i := 0; i < b.N; i++ {
 		rows = expt.Figure12()
@@ -179,6 +192,7 @@ func BenchmarkFigure12(b *testing.B) {
 }
 
 func BenchmarkFigure13(b *testing.B) {
+	b.ReportAllocs()
 	var rows []expt.InferRow
 	for i := 0; i < b.N; i++ {
 		rows = expt.Figure13()
@@ -193,6 +207,7 @@ func BenchmarkFigure13(b *testing.B) {
 }
 
 func BenchmarkFigure14(b *testing.B) {
+	b.ReportAllocs()
 	var rows []expt.AblationRow
 	for i := 0; i < b.N; i++ {
 		rows = expt.Figure14()
@@ -204,6 +219,7 @@ func BenchmarkFigure14(b *testing.B) {
 }
 
 func BenchmarkCommVolume(b *testing.B) {
+	b.ReportAllocs()
 	var rows []expt.CommVolumeRow
 	for i := 0; i < b.N; i++ {
 		rows = expt.CommVolume()
@@ -232,6 +248,7 @@ func BenchmarkFunctionalStep(b *testing.B) {
 // BenchmarkJitterStudy measures the robustness extension (window depth
 // vs transfer-jitter absorption).
 func BenchmarkJitterStudy(b *testing.B) {
+	b.ReportAllocs()
 	var rows []expt.JitterRow
 	for i := 0; i < b.N; i++ {
 		rows = expt.JitterStudy(3)
@@ -242,6 +259,7 @@ func BenchmarkJitterStudy(b *testing.B) {
 
 // BenchmarkHeteroWindow measures the fixed-budget window extension.
 func BenchmarkHeteroWindow(b *testing.B) {
+	b.ReportAllocs()
 	var rows []expt.HeteroRow
 	for i := 0; i < b.N; i++ {
 		var err error

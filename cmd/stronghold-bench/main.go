@@ -124,9 +124,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if w <= 1 {
 			w = runtime.NumCPU()
 		}
+		var msBefore, msAfter runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		serialStart := time.Now()
 		serial := sweep(cases, *only, 1)
 		serialWall := time.Since(serialStart)
+		runtime.ReadMemStats(&msAfter)
 		parallelStart := time.Now()
 		parallel := sweep(cases, *only, w)
 		parallelWall := time.Since(parallelStart)
@@ -139,11 +142,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		doc.Scenarios = serial
+		var steps uint64
+		for _, s := range serial {
+			steps += s.Steps
+		}
+		allocs := msAfter.Mallocs - msBefore.Mallocs
+		perStep := 0.0
+		if steps > 0 {
+			perStep = float64(allocs) / float64(steps)
+		}
 		doc.Timing = &bench.Timing{
-			SerialWallNS:   serialWall.Nanoseconds(),
-			ParallelWallNS: parallelWall.Nanoseconds(),
-			Workers:        w,
-			CPUs:           runtime.NumCPU(),
+			SerialWallNS:        serialWall.Nanoseconds(),
+			ParallelWallNS:      parallelWall.Nanoseconds(),
+			Workers:             w,
+			CPUs:                runtime.NumCPU(),
+			SerialAllocs:        allocs,
+			SerialAllocsPerStep: perStep,
 		}
 	} else {
 		doc.Scenarios = sweep(cases, *only, *workers)

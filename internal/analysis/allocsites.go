@@ -1,0 +1,470 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the allocation-site classifier behind the hotalloc
+// rule: a syntactic taxonomy of the constructs that force a heap
+// allocation per execution, refined by the same conservative local
+// escape judgment bufdiscipline uses for allocator blocks. The
+// taxonomy is deliberately about *shape*, not about outsmarting the
+// compiler's escape analysis: a construct is a site when the gc
+// compiler may allocate for it on the hot path, and the refinements
+// below remove only the cases that are provably stack-local or
+// provably amortized buffer reuse. The dynamic AllocsPerRun tests
+// (TestZeroAllocHotPaths in each hot package) cross-check whatever the
+// static judgment cannot see.
+//
+// Refinements (documented in DESIGN.md §15):
+//
+//   - a three-argument slice make — make([]T, len, cap) — is the
+//     sanctioned pre-sized form and is not a site; every other make
+//     (growable slice, map, chan) is;
+//   - append is a site only when it grows an unmanaged buffer:
+//     appending to a re-sliced expression (append(x[:0], ...)), to an
+//     expression reset elsewhere in the function (x = x[:n]), or to a
+//     local created by a pre-sized make in the same function, is the
+//     reuse idiom and is exempt;
+//   - new(T) and &T{} assigned to a local that never escapes (the
+//     bufdiscipline lifetime walk) stay on the stack and are exempt;
+//   - a func literal is a site only when it captures enclosing state
+//     and is not provably function-local: immediately-invoked literals
+//     and literals assigned to a never-escaping local are exempt;
+//   - everything inside a panic(...) argument is skipped: a
+//     terminating path is not a hot path.
+
+// allocKinds is the site taxonomy. HOTPATH.md `allow` directives name
+// these kinds; "box" belongs to the boxing rule, the rest to hotalloc.
+var allocKinds = map[string]string{
+	"make":      "make of a growable slice, map or channel",
+	"new":       "new(T) or &T{} that escapes the function",
+	"composite": "slice or map composite literal",
+	"append":    "append growth without pre-sized capacity or buffer reuse",
+	"string":    "string concatenation or fmt.Sprint-family call",
+	"closure":   "capturing func literal that escapes",
+	"box":       "scalar or struct converted to an interface",
+}
+
+// allocKindList renders the taxonomy for error messages, sorted.
+func allocKindList() string {
+	kinds := make([]string, 0, len(allocKinds))
+	for k := range allocKinds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return strings.Join(kinds, "/")
+}
+
+// allocSite is one classified allocation site.
+type allocSite struct {
+	pos  token.Pos
+	kind string
+	msg  string // first clause: what allocates and why
+	fix  *Fix   // mechanical rewrite, when one exists
+}
+
+// scanAllocSites classifies the allocation sites in one declared
+// function body. parents must cover the enclosing file (buildParents).
+func scanAllocSites(fset *token.FileSet, info *types.Info, fd *ast.FuncDecl, parents map[ast.Node]ast.Node) []allocSite {
+	body := fd.Body
+	if body == nil {
+		return nil
+	}
+	resets := collectResets(body)
+	presized := collectPresized(info, body)
+	var sites []allocSite
+	add := func(pos token.Pos, kind, format string, args ...any) *allocSite {
+		sites = append(sites, allocSite{pos: pos, kind: kind, msg: fmt.Sprintf(format, args...)})
+		return &sites[len(sites)-1]
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if isPanicCall(info, n) {
+			return false // terminating path: not a hot path
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			switch calleeBuiltin(info, e) {
+			case "make":
+				if t, ok := info.Types[e.Args[0]]; ok {
+					if _, isSlice := t.Type.Underlying().(*types.Slice); isSlice && len(e.Args) == 3 {
+						return true // pre-sized make: the sanctioned bounded allocation
+					}
+				}
+				add(e.Pos(), "make", "make(%s) allocates per call", types.ExprString(e.Args[0]))
+			case "new":
+				if localNeverEscapes(info, fd, e, parents) {
+					return true
+				}
+				add(e.Pos(), "new", "new(%s) escapes to the heap", types.ExprString(e.Args[0]))
+			case "append":
+				if dst := e.Args[0]; !isReusedBuffer(info, dst, resets, presized) {
+					s := add(e.Pos(), "append", "append to %s may grow an unmanaged buffer", types.ExprString(dst))
+					s.fix = presizeFix(fset, info, body, e, parents)
+				}
+			}
+			if name, ok := sprintFamily(info, e); ok {
+				add(e.Pos(), "string", "fmt.%s builds a new string per call", name)
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD && isStringExpr(info, e) && !isConstExpr(info, e) {
+				if p, ok := parents[e].(*ast.BinaryExpr); ok && p.Op == token.ADD && isStringExpr(info, p) {
+					return true // flag only the outermost concatenation
+				}
+				add(e.Pos(), "string", "string concatenation allocates per call")
+			}
+		case *ast.CompositeLit:
+			tv, ok := info.Types[e]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				if insideCompositeLit(e, parents) {
+					return true // the outermost literal is the allocation
+				}
+				add(e.Pos(), "composite", "%s literal allocates per call", types.ExprString(e.Type))
+			case *types.Struct:
+				if u, ok := parents[e].(*ast.UnaryExpr); ok && u.Op == token.AND {
+					if localNeverEscapes(info, fd, u, parents) {
+						return true
+					}
+					add(u.Pos(), "new", "&%s{...} escapes to the heap", types.ExprString(e.Type))
+				}
+			}
+		case *ast.FuncLit:
+			// Sites inside the literal's body still belong to this
+			// function (the call graph attributes literals to their
+			// enclosing declaration), so the walk continues either way.
+			if site, capt := closureSite(info, fd, e, body, parents); site {
+				add(e.Pos(), "closure", "func literal capturing %s escapes to the heap", capt)
+			}
+		}
+		return true
+	})
+	sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+	return sites
+}
+
+// isPanicCall reports whether n is a call to the builtin panic; its
+// argument subtree is exempt from site scanning.
+func isPanicCall(info *types.Info, n ast.Node) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return calleeBuiltin(info, call) == "panic"
+}
+
+// calleeBuiltin returns the builtin's name when call invokes one.
+func calleeBuiltin(info *types.Info, call *ast.CallExpr) string {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// sprintFamily reports whether call is one of fmt's string-building
+// functions.
+func sprintFamily(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	pkgPath, name := pkgFuncUseInfo(info, sel)
+	if pkgPath != "fmt" {
+		return "", false
+	}
+	switch name {
+	case "Sprintf", "Sprint", "Sprintln", "Errorf":
+		return name, true
+	}
+	return "", false
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// insideCompositeLit reports whether e sits inside another composite
+// literal (the outer literal owns the allocation).
+func insideCompositeLit(e ast.Node, parents map[ast.Node]ast.Node) bool {
+	for p := parents[e]; p != nil; p = parents[p] {
+		switch p.(type) {
+		case *ast.CompositeLit:
+			return true
+		case ast.Stmt:
+			return false
+		}
+	}
+	return false
+}
+
+// collectResets records every buffer-reset assignment `X = X[...]` in
+// the body, keyed by the rendered expression: evidence that appends to
+// X are the amortized reuse idiom, not unbounded growth.
+func collectResets(body *ast.BlockStmt) map[string]bool {
+	resets := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			se, ok := unparen(rhs).(*ast.SliceExpr)
+			if !ok {
+				continue
+			}
+			lhs := types.ExprString(as.Lhs[i])
+			if types.ExprString(se.X) == lhs {
+				resets[lhs] = true
+			}
+		}
+		return true
+	})
+	return resets
+}
+
+// collectPresized records locals defined by a pre-sized slice make —
+// x := make([]T, len, cap) — in the body; appends to them are bounded
+// by the declared capacity on the expected path.
+func collectPresized(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || calleeBuiltin(info, call) != "make" || len(call.Args) != 3 {
+			return true
+		}
+		if obj := info.Defs[id]; obj != nil {
+			out[obj] = true
+		} else if obj := info.Uses[id]; obj != nil {
+			out[obj] = true
+		}
+		return true
+	})
+	return out
+}
+
+// isReusedBuffer reports whether an append destination is managed:
+// a re-slice expression, an expression the function resets, or a
+// pre-sized local.
+func isReusedBuffer(info *types.Info, dst ast.Expr, resets map[string]bool, presized map[types.Object]bool) bool {
+	dst = unparen(dst)
+	if _, ok := dst.(*ast.SliceExpr); ok {
+		return true
+	}
+	if resets[types.ExprString(dst)] {
+		return true
+	}
+	if id, ok := dst.(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil && presized[obj] {
+			return true
+		}
+		if obj := info.Defs[id]; obj != nil && presized[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// localNeverEscapes applies the bufdiscipline lifetime walk to an
+// allocation expression: when the value is assigned to a plain local
+// that never escapes the function, the gc compiler keeps it on the
+// stack and the site is exempt. Assignments to package-level (or
+// otherwise non-local) variables are escapes by construction.
+func localNeverEscapes(info *types.Info, fd *ast.FuncDecl, alloc ast.Expr, parents map[ast.Node]ast.Node) bool {
+	as, ok := parents[alloc].(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	var lhs ast.Expr
+	for i, r := range as.Rhs {
+		if r == alloc && i < len(as.Lhs) {
+			lhs = as.Lhs[i]
+		}
+	}
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj, ok := objOfInfo(info, id).(*types.Var)
+	if !ok || obj.Pos() < fd.Pos() || obj.Pos() >= fd.End() {
+		return false
+	}
+	return !blockEscapesInfo(info, fd.Body, obj, parents)
+}
+
+// closureSite classifies one func literal: it is a site when it
+// captures enclosing state and is not provably function-local. The
+// second result names one captured variable for the message.
+func closureSite(info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt, parents map[ast.Node]ast.Node) (bool, string) {
+	captured := capturedVar(info, fd, lit)
+	if captured == "" {
+		return false, "" // captures nothing: a plain func value, no closure context
+	}
+	switch p := parents[lit].(type) {
+	case *ast.CallExpr:
+		if p.Fun == ast.Node(lit) {
+			return false, "" // immediately invoked: runs on the stack
+		}
+		return true, captured // argument position: handed off
+	case *ast.AssignStmt:
+		var lhs ast.Expr
+		for i, r := range p.Rhs {
+			if r == ast.Node(lit) && i < len(p.Lhs) {
+				lhs = p.Lhs[i]
+			}
+		}
+		if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+			if obj, ok := objOfInfo(info, id).(*types.Var); ok &&
+				obj.Pos() >= fd.Pos() && obj.Pos() < fd.End() &&
+				!blockEscapesInfo(info, body, obj, parents) {
+				return false, "" // locally called, never handed off
+			}
+		}
+		return true, captured
+	}
+	return true, captured
+}
+
+// capturedVar returns the name of one variable the literal captures
+// from its enclosing function ("" when it captures nothing). A
+// captured variable is a non-package-level object used inside the
+// literal but declared outside it, within the enclosing declaration.
+func capturedVar(info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit) string {
+	found := ""
+	declFrom, declTo := fd.Pos(), fd.End()
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the literal
+		}
+		if v.Pos() >= declFrom && v.Pos() < declTo {
+			found = v.Name()
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// presizeFix builds the mechanical pre-size rewrite for an append
+// growth site, when the shape supports it: the destination is a local
+// declared `var x []T` in this function and the append runs inside a
+// `for ... range R` loop. The declaration becomes
+// `x := make([]T, 0, len(R))`, bounding the growth to one pre-sized
+// allocation. (The rewrite turns a nil slice into an empty one — the
+// usual cap-only pre-size caveat, reviewed under -fix.)
+func presizeFix(fset *token.FileSet, info *types.Info, body *ast.BlockStmt, call *ast.CallExpr, parents map[ast.Node]ast.Node) *Fix {
+	id, ok := unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := objOfInfo(info, id)
+	if obj == nil {
+		return nil
+	}
+	// The append must run inside a range loop whose source names the
+	// capacity.
+	var rng *ast.RangeStmt
+	for p := parents[call]; p != nil; p = parents[p] {
+		if r, ok := p.(*ast.RangeStmt); ok {
+			rng = r
+			break
+		}
+		if _, ok := p.(*ast.FuncLit); ok {
+			return nil
+		}
+	}
+	if rng == nil {
+		return nil
+	}
+	switch rng.X.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+	default:
+		return nil
+	}
+	// Find the `var x []T` declaration statement for the destination.
+	var fix *Fix
+	ast.Inspect(body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeclStmt)
+		if !ok || fix != nil {
+			return fix == nil
+		}
+		gd, ok := ds.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR || len(gd.Specs) != 1 {
+			return true
+		}
+		vs, ok := gd.Specs[0].(*ast.ValueSpec)
+		if !ok || len(vs.Names) != 1 || len(vs.Values) != 0 || vs.Type == nil {
+			return true
+		}
+		at, ok := vs.Type.(*ast.ArrayType)
+		if !ok || at.Len != nil {
+			return true
+		}
+		if info.Defs[vs.Names[0]] != obj {
+			return true
+		}
+		text := fmt.Sprintf("%s := make(%s, 0, len(%s))",
+			vs.Names[0].Name, types.ExprString(vs.Type), types.ExprString(rng.X))
+		fix = &Fix{
+			Message: fmt.Sprintf("pre-size %s to the range source's length", vs.Names[0].Name),
+			Edits: []Edit{{
+				Filename: fset.Position(ds.Pos()).Filename,
+				Start:    fset.Position(ds.Pos()).Offset,
+				End:      fset.Position(ds.End()).Offset,
+				NewText:  text,
+			}},
+		}
+		return false
+	})
+	return fix
+}
+
+// objOfInfo resolves an identifier to its object via Defs then Uses
+// (the Pass-free form of bufdiscipline's objOf).
+func objOfInfo(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}

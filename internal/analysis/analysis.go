@@ -360,5 +360,8 @@ func DefaultAnalyzers() []*Analyzer {
 		Partition,
 		SyncScope,
 		MergePure,
+		HotAlloc,
+		Boxing,
+		DeferLoop,
 	}
 }

@@ -271,6 +271,7 @@ func TestDefaultAnalyzers(t *testing.T) {
 		"simtime", "enginepure", "droppedsignal", "bufdiscipline", "anystyle",
 		"maporder", "wallclock", "seedflow", "errdrop",
 		"partition", "syncscope", "mergepure",
+		"hotalloc", "boxing", "deferloop",
 	}
 	got := DefaultAnalyzers()
 	if len(got) != len(want) {

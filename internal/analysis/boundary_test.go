@@ -229,6 +229,7 @@ var fixtureHelpers = map[string][]string{
 	"seedflow_bad":      {"seedflow_helper"},
 	"enginetrans_bad":   {"enginetrans_helper"},
 	"enginecapture_bad": {"enginecapture_helper"},
+	"hotcross_bad":      {"hotcross_helper"},
 }
 
 // TestBadFixturesFail mirrors the CI mutation guard: every *_bad

@@ -130,13 +130,19 @@ func objOf(pass *Pass, id *ast.Ident) types.Object {
 // placed in a composite literal. Plain reads — method calls on the
 // block, field accesses, comparisons — do not count.
 func blockEscapes(pass *Pass, body *ast.BlockStmt, obj *types.Var, parents map[ast.Node]ast.Node) bool {
+	return blockEscapesInfo(pass.Info, body, obj, parents)
+}
+
+// blockEscapesInfo is blockEscapes for callers holding only the type
+// info (the module-wide allocation classifier shares the walk).
+func blockEscapesInfo(info *types.Info, body *ast.BlockStmt, obj *types.Var, parents map[ast.Node]ast.Node) bool {
 	escapes := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if escapes {
 			return false
 		}
 		id, ok := n.(*ast.Ident)
-		if !ok || pass.Info.Uses[id] != types.Object(obj) {
+		if !ok || info.Uses[id] != types.Object(obj) {
 			return true
 		}
 		if identEscapes(id, parents) {

@@ -17,6 +17,7 @@ type Module struct {
 	graph  *CallGraph
 	facts  *FactStore
 	bounds *BoundarySet
+	hots   *HotSet
 }
 
 // NewModule wraps an already-sorted, deduplicated package set.

@@ -1,0 +1,44 @@
+package analysis
+
+import "go/ast"
+
+// DeferLoop bans defer statements inside loop bodies, everywhere. A
+// defer in a loop does not run at the end of the iteration — every
+// deferred call accumulates on the function's defer stack (one heap
+// link each, pre-Go-1.13-style, since a loop defer cannot be
+// open-coded) and runs only at function return. In the simulator's
+// long event loops that is both an allocation per iteration and a
+// resource leak: locks held across iterations, files closed only when
+// the sweep ends. The rule is per-package and unconditional — unlike
+// hotalloc it does not need a registry, because the construct is a
+// latent bug in cold code too. The standard remedies: hoist the defer
+// above the loop, or move the loop body into a function (a func
+// literal boundary resets the scope, so the common
+// `for { func(){ defer ... }() }` idiom stays legal).
+var DeferLoop = &Analyzer{
+	Name: "deferloop",
+	Doc:  "no defer inside a loop body; deferred calls accumulate until function return",
+	Run:  runDeferLoop,
+}
+
+func runDeferLoop(pass *Pass) {
+	for _, f := range pass.Files {
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			d, ok := n.(*ast.DeferStmt)
+			if !ok {
+				return true
+			}
+			for p := parents[ast.Node(d)]; p != nil; p = parents[p] {
+				switch p.(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+					pass.Reportf(d.Pos(), "defer inside a loop runs only at function return: deferred calls accumulate each iteration; hoist the defer or wrap the loop body in a function")
+					return true
+				case *ast.FuncLit, *ast.FuncDecl:
+					return true // function boundary: the defer scopes to it
+				}
+			}
+			return true
+		})
+	}
+}

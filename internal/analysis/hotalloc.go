@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// HotAlloc enforces the hot-path allocation discipline declared in the
+// HOTPATH.md registries: no classified allocation site (allocsites.go)
+// may be reachable in the static call closure of a registered hot path
+// unless the containing function carries an `allow` budget for that
+// site kind. The rule also validates the contract itself — registry
+// parse errors, entries that resolve to nothing, registered roots
+// missing their //vet:hotpath marker, and marked declarations missing
+// their registry entry all fail the gate, so neither half of the
+// contract can be deleted to silence the other.
+var HotAlloc = &Analyzer{
+	Name:      "hotalloc",
+	Doc:       "no unbudgeted allocation site reachable from a registered //vet:hotpath function",
+	RunModule: runHotAlloc,
+}
+
+func runHotAlloc(p *ModulePass) {
+	hs := p.Hots()
+	for _, d := range hs.Reg.Errors {
+		p.Report(d)
+	}
+	for _, d := range hs.issues {
+		p.Report(d)
+	}
+	if len(hs.roots) == 0 {
+		return
+	}
+	g := p.Graph()
+	reach := p.hotReach()
+	parentsOf := make(map[*ast.File]map[ast.Node]ast.Node)
+	for _, node := range g.Sorted {
+		if _, hot := reach[node.Func]; !hot {
+			continue
+		}
+		file := fileOfNode(node)
+		if file == nil {
+			continue
+		}
+		parents := parentsOf[file]
+		if parents == nil {
+			parents = buildParents(file)
+			parentsOf[file] = parents
+		}
+		for _, s := range scanAllocSites(g.Fset, node.Pkg.Info, node.Decl, parents) {
+			if _, ok := hs.Allowed(node.Func, s.kind); ok {
+				continue
+			}
+			// FuncDisplay's pkg.Func / pkg.Type.Method form is exactly
+			// the registry's directive spelling.
+			p.Report(Diagnostic{
+				Pos: g.Fset.Position(s.pos),
+				Message: fmt.Sprintf("%s in hot path %s; hoist it, reuse a buffer, or budget it with `allow %s %s <reason>` in %s",
+					s.msg, FuncDisplay(node.Func), FuncDisplay(node.Func), s.kind, hotRegistryName),
+				Related: hotChain(g, node.Func, reach),
+				Fix:     s.fix,
+			})
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Package boxing_bad is a fixture: a registered hot path boxing
+// scalars and structs into interfaces on every conversion vector the
+// rule covers.
+package boxing_bad
+
+type pt struct{ x, y int64 }
+
+// Observe is the registered hot path.
+//
+//vet:hotpath
+func Observe(v int64) {
+	record(v)        // want `int64 boxed into .* in hot path boxing_bad.Observe`
+	record(pt{v, v}) // want `pt boxed into .* in hot path boxing_bad.Observe`
+	variadic("k", v) // want `int64 boxed into .* in hot path boxing_bad.Observe`
+	var slot any
+	slot = v // want `int64 boxed into .* in hot path boxing_bad.Observe`
+	_ = slot
+	e := any(v) // want `int64 boxed into .* in hot path boxing_bad.Observe`
+	_ = e
+	pairs := []any{v} // want `int64 boxed into .* in hot path boxing_bad.Observe`
+	_ = pairs
+	_ = key(v)
+}
+
+func record(x any) { _ = x }
+
+func variadic(k string, vs ...any) { _, _ = k, vs }
+
+// key is reached through the closure; its interface-typed return boxes
+// the scalar.
+func key(v int64) any {
+	return v // want `int64 boxed into .* in hot path boxing_bad.key`
+}

@@ -1,0 +1,39 @@
+// Package boxing_clean is a fixture: hot paths that keep signatures
+// concrete, pass pointers or interfaces through without re-boxing,
+// format only on panic paths, and budget the one legacy boxing site.
+package boxing_clean
+
+import "fmt"
+
+type sample struct{ at, v int64 }
+
+// Observe is the registered hot path: int64 in, int64 out, no
+// interface in sight.
+//
+//vet:hotpath
+func Observe(at, v int64) int64 {
+	s := sample{at: at, v: v}
+	record(s.at, s.v)
+	relay(&s)      // pointer into any: the word itself, no boxing copy
+	forward(err()) // interface to interface: pass-through
+	if v < 0 {
+		panic(fmt.Sprintf("negative sample %d", v)) // terminating path: exempt
+	}
+	return s.at + s.v
+}
+
+func record(at, v int64) { _, _ = at, v }
+
+func relay(x any) { _ = x }
+
+func forward(e error) { _ = e }
+
+func err() error { return nil }
+
+// Legacy boxes into the pre-existing any-typed sink under a declared
+// budget.
+//
+//vet:hotpath
+func Legacy(v int64) {
+	relay(v)
+}

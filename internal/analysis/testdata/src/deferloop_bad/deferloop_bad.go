@@ -1,0 +1,22 @@
+// Package deferloop_bad is a fixture: defers placed inside loop bodies
+// accumulate until function return instead of running per iteration.
+package deferloop_bad
+
+type file struct{ open bool }
+
+func (f *file) close() { f.open = false }
+
+// Drain closes each handle with a defer inside the range loop: every
+// handle stays open until Drain returns.
+func Drain(files []*file) {
+	for _, f := range files {
+		defer f.close() // want `defer inside a loop runs only at function return`
+	}
+}
+
+// Retry arms a defer on every iteration of a counted loop.
+func Retry(n int, done func()) {
+	for i := 0; i < n; i++ {
+		defer done() // want `defer inside a loop runs only at function return`
+	}
+}

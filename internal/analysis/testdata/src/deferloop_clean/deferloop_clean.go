@@ -1,0 +1,27 @@
+// Package deferloop_clean is a fixture: function-scoped defers and the
+// wrap-the-body-in-a-function idiom, both of which run per iteration or
+// once as intended.
+package deferloop_clean
+
+type file struct{ open bool }
+
+func (f *file) close() { f.open = false }
+
+// Drain wraps the loop body in a function literal so each defer runs at
+// the end of its own iteration.
+func Drain(files []*file) {
+	for _, f := range files {
+		func() {
+			defer f.close()
+		}()
+	}
+}
+
+// Once defers a single cleanup at function scope; the loop below it is
+// irrelevant.
+func Once(files []*file, done func()) {
+	defer done()
+	for _, f := range files {
+		f.close()
+	}
+}

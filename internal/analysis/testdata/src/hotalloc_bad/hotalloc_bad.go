@@ -1,0 +1,47 @@
+// Package hotalloc_bad is a fixture: a registered hot path committing
+// one allocation of every kind in the taxonomy, plus a helper reached
+// only through the interprocedural closure.
+package hotalloc_bad
+
+import "fmt"
+
+var handlers []func()
+
+// Process is the registered hot path.
+//
+//vet:hotpath
+func Process(events []int) []string {
+	m := make(map[int]bool) // want `make\(map\[int\]bool\) allocates per call in hot path hotalloc_bad.Process`
+	var out []string
+	for _, e := range events {
+		out = append(out, label(e)) // want `append to out may grow an unmanaged buffer in hot path hotalloc_bad.Process`
+	}
+	prefix := "id:" + label(events[0]) // want `string concatenation allocates per call in hot path hotalloc_bad.Process`
+	count := fmt.Sprintf("%d", len(m)) // want `fmt.Sprintf builds a new string per call in hot path hotalloc_bad.Process`
+	ids := []int{1, 2, 3}              // want `\[\]int literal allocates per call in hot path hotalloc_bad.Process`
+	n := 0
+	h := func() { n += len(ids) }  // want `func literal capturing n escapes to the heap in hot path hotalloc_bad.Process`
+	handlers = append(handlers, h) // want `append to handlers may grow an unmanaged buffer in hot path hotalloc_bad.Process`
+	fill(prefix, count)
+	return out
+}
+
+func label(e int) string {
+	if e < 0 {
+		return "neg"
+	}
+	return "pos"
+}
+
+// fill is not registered, but Process calls it: the closure carries
+// the discipline into it and the witness chain leads back to Process.
+func fill(a, b string) *big {
+	p := new(big) // want `new\(big\) escapes to the heap in hot path hotalloc_bad.fill`
+	p.a, p.b = a, b
+	return p
+}
+
+type big struct {
+	a, b string
+	pad  [64]byte
+}

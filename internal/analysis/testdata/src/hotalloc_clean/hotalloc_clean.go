@@ -1,0 +1,63 @@
+// Package hotalloc_clean is a fixture: registered hot paths written
+// under the allocation discipline. Pre-sized buffers, reuse resets,
+// stack-local values, panic-only formatting and one declared budget —
+// no diagnostics.
+package hotalloc_clean
+
+import "fmt"
+
+type state struct {
+	scratch []int
+	trace   []int
+	n       int
+}
+
+// Process is the registered hot path: allocation-free on the steady
+// state.
+//
+//vet:hotpath
+func (s *state) Process(events []int) int {
+	// Reset-reuse idiom: the scratch buffer's capacity survives rounds.
+	s.scratch = s.scratch[:0]
+	for _, e := range events {
+		if e >= 0 {
+			s.scratch = append(s.scratch, e)
+		}
+	}
+	// Pre-sized make: the sanctioned bounded allocation.
+	doubled := make([]int, 0, len(events))
+	for _, e := range events {
+		doubled = append(doubled, e*2)
+	}
+	// Re-slice destination: reuse, not growth.
+	doubled = append(doubled[:0], s.scratch...)
+	// Stack-local pointer: never escapes, never flagged.
+	acc := &counter{}
+	for _, e := range doubled {
+		acc.add(e)
+	}
+	// Value composite: no heap involved.
+	c := counter{n: acc.n}
+	// Constant concatenation folds at compile time.
+	const tag = "evt" + ":"
+	// Locally-called closure that never escapes.
+	bump := func() { s.n++ }
+	bump()
+	if len(events) > 0 && events[0] == -1 {
+		// Terminating path: formatting here is exempt.
+		panic(fmt.Sprintf("%s bad sentinel %d", tag, events[0]))
+	}
+	return c.n
+}
+
+// Grow carries a declared budget: the append is a real allocation
+// site, accepted by the registry's allow line.
+//
+//vet:hotpath
+func (s *state) Grow(e int) {
+	s.trace = append(s.trace, e)
+}
+
+type counter struct{ n int }
+
+func (c *counter) add(v int) { c.n += v }

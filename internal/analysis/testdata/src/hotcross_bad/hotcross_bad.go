@@ -1,0 +1,13 @@
+// Package hotcross_bad is a fixture: a registered hot path whose only
+// allocation happens one package away, visible solely through the
+// interprocedural closure.
+package hotcross_bad
+
+import "stronghold/internal/analysis/testdata/src/hotcross_helper"
+
+// Drive is the registered hot path; it allocates nothing locally.
+//
+//vet:hotpath
+func Drive(n int) []byte {
+	return hotcross_helper.Scratch(n)
+}

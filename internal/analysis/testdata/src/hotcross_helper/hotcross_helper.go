@@ -1,0 +1,10 @@
+// Package hotcross_helper is the out-of-package callee of the
+// hotcross_bad fixture: it carries no marker and no registry, yet the
+// hot-path closure reaches it and its allocation is charged against
+// the root.
+package hotcross_helper
+
+// Scratch allocates a fresh buffer per call.
+func Scratch(n int) []byte {
+	return make([]byte, n) // want `make\(\[\]byte\) allocates per call in hot path hotcross_helper.Scratch`
+}

@@ -1,0 +1,17 @@
+// Package hotpathreg_bad is a fixture: the go half of the broken
+// hot-path contract. Unmarked is registered without a marker, Marked is
+// fine, and Rogue carries a marker with no registry entry.
+package hotpathreg_bad
+
+// Unmarked is registered in HOTPATH.md but lacks the annotation.
+func Unmarked() {}
+
+// Marked is the one well-formed root.
+//
+//vet:hotpath
+func Marked() {}
+
+// Rogue is annotated but never registered.
+//
+//vet:hotpath
+func Rogue() {}

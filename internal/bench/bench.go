@@ -51,6 +51,15 @@ type Timing struct {
 	ParallelWallNS int64 `json:"parallel_wall_ns"`
 	Workers        int   `json:"workers"`
 	CPUs           int   `json:"cpus"`
+	// SerialAllocs and SerialAllocsPerStep record the heap allocation
+	// count of the serial sweep (runtime.MemStats.Mallocs delta) and its
+	// ratio to executed simulation events — the sweep-level cross-check
+	// of the HOTPATH.md zero-alloc discipline. Like the wall-clocks they
+	// are machine-dependent (GC pacing, map growth), but stable enough
+	// that an unbudgeted per-event allocation creeping into a hot path
+	// shows up as an order-of-magnitude jump.
+	SerialAllocs        uint64  `json:"serial_allocs"`
+	SerialAllocsPerStep float64 `json:"serial_allocs_per_step"`
 }
 
 // Scenario is one benchmark scenario's result set.

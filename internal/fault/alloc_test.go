@@ -1,0 +1,40 @@
+package fault
+
+import "testing"
+
+// TestZeroAllocHotPaths is the dynamic half of HOTPATH.md: the
+// analytical query paths — Stretch's piecewise integration, DropUntil —
+// allocate nothing per call. Compilation (NewInjector) may allocate
+// freely; only the per-operation side is pinned.
+func TestZeroAllocHotPaths(t *testing.T) {
+	plan := mustParse(t, "h2d:slow(at=0s,dur=100ms,every=300ms,factor=0.25);h2d:stall(at=50ms,dur=5ms);nvme:drop(at=20ms,dur=8ms,every=40ms)")
+	in, err := NewInjector(plan)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	st := in.Stretch(H2D)
+	if st == nil {
+		t.Fatal("Stretch(H2D) = nil, want transform")
+	}
+
+	var tick, sink int64
+	allocs := testing.AllocsPerRun(1000, func() {
+		tick++
+		sink += int64(st(ms(tick%400), ms(7)))
+	})
+	if allocs != 0 {
+		t.Fatalf("Stretch query allocates %.1f times per call, want 0", allocs)
+	}
+
+	allocs = testing.AllocsPerRun(1000, func() {
+		tick++
+		until, hit := in.DropUntil(NVMe, ms(tick%400))
+		if hit {
+			sink += int64(until)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DropUntil query allocates %.1f times per call, want 0", allocs)
+	}
+	_ = sink
+}

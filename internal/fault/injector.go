@@ -140,6 +140,8 @@ func satAdd(a, b sim.Time) sim.Time {
 // over all active windows (1 when none, 0 when stalled). Drop windows
 // are skipped unless includeDrops — then they count as stalls, for
 // resources whose clients have no retry path.
+//
+//vet:hotpath
 func (tl *timeline) rateAt(t sim.Time, includeDrops bool) float64 {
 	rate := 1.0
 	for _, w := range tl.windows {
@@ -170,7 +172,11 @@ func (tl *timeline) rateAt(t sim.Time, includeDrops bool) float64 {
 }
 
 // nextBoundaryAfter returns the earliest window edge strictly after t,
-// or false when no relevant boundary remains.
+// or false when no relevant boundary remains. The consider closure is
+// called locally and never handed off, so it stays on the stack — the
+// hotalloc escape judgment verifies exactly that.
+//
+//vet:hotpath
 func (tl *timeline) nextBoundaryAfter(t sim.Time, includeDrops bool) (sim.Time, bool) {
 	best := sim.Time(math.MaxInt64)
 	consider := func(b sim.Time) {
@@ -209,6 +215,8 @@ func (tl *timeline) nextBoundaryAfter(t sim.Time, includeDrops bool) (sim.Time, 
 // integrates progress piecewise at the active rate; stalls contribute
 // nothing until their window closes. The result is never earlier than
 // the nominal completion.
+//
+//vet:hotpath
 func (tl *timeline) stretch(start, work sim.Time, includeDrops bool) sim.Time {
 	if work < 0 {
 		work = 0
@@ -250,6 +258,8 @@ func (tl *timeline) stretch(start, work sim.Time, includeDrops bool) sim.Time {
 
 // dropUntil reports whether t falls inside a drop window, and if so
 // when the longest active blackout ends.
+//
+//vet:hotpath
 func (tl *timeline) dropUntil(t sim.Time) (sim.Time, bool) {
 	var until sim.Time
 	hit := false

@@ -1,0 +1,40 @@
+package metrics
+
+import "testing"
+
+// TestZeroAllocHotPaths is the dynamic half of HOTPATH.md: once every
+// resource, channel and processor has been seen (labels rendered,
+// histograms registered, series created), the per-event observer hooks
+// allocate nothing. Timelines retain the full run by design, so their
+// amortized append growth is excluded by truncating them in place
+// between iterations — that is exactly the Timeline.Append budget in
+// the registry; everything else must be zero.
+func TestZeroAllocHotPaths(t *testing.T) {
+	c := New()
+
+	var now int64
+	step := func() {
+		now += 100
+		c.ResourceTask("gpu0", now, now+1, now+2)
+		c.ProcTask("cpu", now, now+5, 2)
+		c.Transfer("h2d", 1<<20, now, now+10)
+		c.SetWindow(now, 4)
+		c.WindowOccupancy(now, 3)
+		c.OptQueued(now)
+		c.OptDone(now + 1)
+		c.CountRetry()
+		c.CountDeadlineMiss()
+		c.CountResolve()
+		for _, tl := range c.timelines {
+			tl.pts = tl.pts[:0]
+		}
+	}
+	// First sight of each series allocates (budgeted); warm it all up.
+	for i := 0; i < 8; i++ {
+		step()
+	}
+
+	if allocs := testing.AllocsPerRun(1000, step); allocs != 0 {
+		t.Fatalf("observer hooks allocate %.1f times per event batch, want 0", allocs)
+	}
+}

@@ -82,6 +82,7 @@ func TestGenerateFastRejectsNonBlockStacks(t *testing.T) {
 }
 
 func BenchmarkGenerateFull(b *testing.B) {
+	b.ReportAllocs()
 	g, _ := NewGPT(GPTConfig{Vocab: 64, MaxSeq: 128, Hidden: 32, Heads: 4, Layers: 4, Seed: 9})
 	prompt := []int{1, 2, 3, 4}
 	b.ResetTimer()
@@ -93,6 +94,7 @@ func BenchmarkGenerateFull(b *testing.B) {
 }
 
 func BenchmarkGenerateKVCached(b *testing.B) {
+	b.ReportAllocs()
 	g, _ := NewGPT(GPTConfig{Vocab: 64, MaxSeq: 128, Hidden: 32, Heads: 4, Layers: 4, Seed: 9})
 	prompt := []int{1, 2, 3, 4}
 	b.ResetTimer()

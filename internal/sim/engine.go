@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -26,24 +25,63 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []*event
+// eventHeap is a hand-rolled binary min-heap of event values ordered by
+// (at, seq). It replaces container/heap, whose interface would box every
+// push/pop through `any` and whose element type would have to be a
+// pointer — one heap allocation per admitted event on the engine's
+// hottest path. Values stay inline in the backing array; only the
+// array's amortized growth allocates (budgeted in HOTPATH.md). Pop order
+// is identical to container/heap's: (at, seq) is a strict total order —
+// seq is unique — so every correct heap pops the same sequence.
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// push appends ev and restores the heap property.
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() event {
+	q := *h
+	last := len(q) - 1
+	top := q[0]
+	q[0] = q[last]
+	q[last].fn = nil // release the callback for GC
+	q = q[:last]
+	*h = q
+	i := 0
+	for {
+		small := i
+		if l := 2*i + 1; l < len(q) && q.less(l, small) {
+			small = l
+		}
+		if r := 2*i + 2; r < len(q) && q.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	return top
 }
 
 // Engine owns the virtual clock and the pending-event queue.
@@ -101,6 +139,8 @@ func (e *Engine) Now() Time { return e.now }
 
 // Schedule enqueues fn to run delay nanoseconds from now. A negative
 // delay panics: the simulation cannot travel backwards.
+//
+//vet:hotpath
 func (e *Engine) Schedule(delay Time, fn func()) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", delay))
@@ -110,6 +150,8 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 
 // At enqueues fn to run at absolute virtual time t (>= Now) on the
 // default partition 0.
+//
+//vet:hotpath
 func (e *Engine) At(t Time, fn func()) { e.AtPart(0, t, fn) }
 
 // AtPart enqueues fn to run at absolute virtual time t (>= Now) with a
@@ -118,6 +160,8 @@ func (e *Engine) At(t Time, fn func()) { e.AtPart(0, t, fn) }
 // on between barrier rounds. The global admission sequence stamped
 // here is the same in both modes, which is what makes the parallel
 // execution order provably identical to the serial one.
+//
+//vet:hotpath
 func (e *Engine) AtPart(part int, t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %d before now %d", t, e.now))
@@ -127,10 +171,12 @@ func (e *Engine) AtPart(part int, t Time, fn func()) {
 		e.route(part, t, e.seq, fn)
 		return
 	}
-	heap.Push(&e.pending, &event{at: t, seq: e.seq, fn: fn})
+	e.pending.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // SchedulePart is Schedule with a partition affinity.
+//
+//vet:hotpath
 func (e *Engine) SchedulePart(part int, delay Time, fn func()) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", delay))
@@ -140,12 +186,14 @@ func (e *Engine) SchedulePart(part int, delay Time, fn func()) {
 
 // Run executes events in timestamp order until the queue drains,
 // returning the final virtual time.
+//
+//vet:hotpath
 func (e *Engine) Run() Time {
 	if e.frontend != nil {
 		return e.frontend.Run()
 	}
 	for len(e.pending) > 0 {
-		ev := heap.Pop(&e.pending).(*event)
+		ev := e.pending.pop()
 		e.now = ev.at
 		e.steps++
 		ev.fn()
@@ -155,12 +203,14 @@ func (e *Engine) Run() Time {
 
 // RunUntil executes events with timestamps <= deadline, advancing the
 // clock to exactly deadline, and reports whether the queue drained.
+//
+//vet:hotpath
 func (e *Engine) RunUntil(deadline Time) bool {
 	if e.frontend != nil {
 		return e.frontend.RunUntil(deadline)
 	}
 	for len(e.pending) > 0 && e.pending[0].at <= deadline {
-		ev := heap.Pop(&e.pending).(*event)
+		ev := e.pending.pop()
 		e.now = ev.at
 		e.steps++
 		ev.fn()
@@ -175,6 +225,8 @@ func (e *Engine) RunUntil(deadline Time) bool {
 // would: advance the clock to its due time, count the step, run the
 // callback. It is the frontend's execution primitive; calling it from
 // anywhere else breaks the engine's ordering contract.
+//
+//vet:hotpath
 func (e *Engine) Dispatch(at Time, fn func()) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: dispatching at %d before now %d", at, e.now))

@@ -1,0 +1,37 @@
+package parallel
+
+import (
+	"testing"
+
+	"stronghold/internal/sim"
+)
+
+func nop() {}
+
+// TestZeroAllocHotPaths is the dynamic half of HOTPATH.md: on the
+// serial staging path (Workers: 1) with every buffer warmed — partition
+// queues, staging scratches, the runs table, the window's backing
+// array — a full admit→barrier→stage→merge→dispatch round allocates
+// nothing. The Workers>1 path spends its budgeted per-round goroutine
+// closures and is exercised for identity, not allocation, by the
+// differential tests.
+func TestZeroAllocHotPaths(t *testing.T) {
+	eng := sim.NewEngine()
+	Attach(eng, Options{Workers: 1, Lookahead: 10})
+
+	round := func() {
+		for part := 0; part < 4; part++ {
+			eng.SchedulePart(part, sim.Time(1+part), nop)
+			eng.SchedulePart(part, sim.Time(2+part), nop)
+		}
+		eng.Run()
+	}
+	// Warm every reused buffer through a few full rounds.
+	for i := 0; i < 8; i++ {
+		round()
+	}
+
+	if allocs := testing.AllocsPerRun(500, round); allocs != 0 {
+		t.Fatalf("parallel round hot path allocates %.1f times per round, want 0", allocs)
+	}
+}

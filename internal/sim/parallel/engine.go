@@ -22,7 +22,6 @@
 package parallel
 
 import (
-	"container/heap"
 	"math"
 	"sync"
 
@@ -55,6 +54,11 @@ type Engine struct {
 	workers   int
 	lookahead sim.Time
 	parts     []*Partition
+	// The coordinator caches its round barrier so drain allocates
+	// nothing: one Barrier per engine, for the engine's whole life. The
+	// lock discipline is unchanged — drain still crosses only through
+	// Advance, the declared merge point.
+	barrier *Barrier //vet:ignore partition coordinator-cached round barrier; crossing stays confined to Barrier.Advance
 
 	// Round state: horizon is the open window's upper bound, window the
 	// due events not yet executed, draining true while the coordinator
@@ -63,6 +67,10 @@ type Engine struct {
 	horizon  sim.Time
 	window   windowHeap
 	draining bool
+
+	// runs is the staging scratch reused across rounds: one slot per
+	// partition, refilled by stage() and consumed by mergeInto.
+	runs [][]Event
 }
 
 // Attach installs the parallel frontend on eng: every subsequently
@@ -77,7 +85,8 @@ func Attach(eng *sim.Engine, opts Options) *Engine {
 	if opts.Lookahead <= 0 {
 		opts.Lookahead = DefaultLookahead
 	}
-	pe := &Engine{core: eng, workers: opts.Workers, lookahead: opts.Lookahead}
+	pe := &Engine{core: eng, workers: opts.Workers, lookahead: opts.Lookahead,
+		barrier: NewBarrier(opts.Lookahead)}
 	eng.SetFrontend(pe, pe.admit)
 	return pe
 }
@@ -87,10 +96,12 @@ func Attach(eng *sim.Engine, opts Options) *Engine {
 // coordinator goroutine (initial scheduling before Run, then only from
 // inside executing callbacks), so (At, Seq) is exactly the serial
 // heap's priority for this event.
+//
+//vet:hotpath
 func (pe *Engine) admit(part int, at sim.Time, seq uint64, fn func()) {
 	ev := Event{At: at, Part: part, Seq: seq, Fn: fn}
 	if pe.draining && at <= pe.horizon {
-		heap.Push(&pe.window, ev)
+		pe.window.push(ev)
 		return
 	}
 	pe.partition(part).Admit(ev)
@@ -142,20 +153,22 @@ func (pe *Engine) Pending() int {
 // would pop next; by induction the two engines execute the same
 // events, in the same order, at the same clock, with the same
 // admission sequences.
+//
+//vet:hotpath
 func (pe *Engine) drain(limit sim.Time) {
-	b := NewBarrier(pe.lookahead)
 	for {
-		h, ok := b.Advance(pe.parts, limit)
+		h, ok := pe.barrier.Advance(pe.parts, limit)
 		if !ok {
 			return
 		}
-		batch := MergeRuns(pe.stage())
-		// A sorted slice satisfies the heap property as-is.
-		pe.window = append(pe.window[:0], batch...)
+		// Merge the sorted runs straight into the window's backing array
+		// — a sorted slice satisfies the heap property as-is, and the
+		// array's capacity survives rounds.
+		pe.window = windowHeap(mergeInto([]Event(pe.window), pe.stage()))
 		pe.horizon = h
 		pe.draining = true
 		for len(pe.window) > 0 {
-			ev := heap.Pop(&pe.window).(Event)
+			ev := pe.window.pop()
 			pe.core.Dispatch(ev.At, ev.Fn)
 		}
 		pe.draining = false
@@ -167,10 +180,15 @@ func (pe *Engine) drain(limit sim.Time) {
 // touched by exactly one goroutine per round — the single-writer
 // discipline the partition boundary declares. The returned runs are
 // indexed by partition, not by worker: the result is independent of
-// scheduling order by construction.
+// scheduling order by construction. The slice is the engine's reused
+// scratch, valid until the next round stages.
 func (pe *Engine) stage() [][]Event {
 	parts := pe.parts
-	runs := make([][]Event, len(parts))
+	pe.runs = pe.runs[:0]
+	for range parts {
+		pe.runs = append(pe.runs, nil)
+	}
+	runs := pe.runs
 	n := pe.workers
 	if n > len(parts) {
 		n = len(parts)
@@ -181,12 +199,17 @@ func (pe *Engine) stage() [][]Event {
 		}
 		return runs
 	}
+	// stride is assigned exactly once so the worker closures capture it
+	// by value: capturing the reassigned n by reference would heap-move
+	// it on every call, charging the serial path one allocation per
+	// round for goroutines it never spawns.
+	stride := n
 	var wg sync.WaitGroup
-	for w := 0; w < n; w++ {
+	for w := 0; w < stride; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for i := w; i < len(parts); i += n {
+			for i := w; i < len(parts); i += stride {
 				runs[i] = parts[i].TakeDue()
 			}
 		}(w)
@@ -197,18 +220,51 @@ func (pe *Engine) stage() [][]Event {
 
 // windowHeap is the open round's execution heap, ordered by eventLess
 // — (At, Seq) first, so with engine-stamped global sequences the pop
-// order is the serial engine's pop order.
+// order is the serial engine's pop order. Hand-rolled over Event values
+// for the same reason as sim's eventHeap: container/heap would box
+// every element through `any`, one allocation per mid-round admission.
+// eventLess is strict and total, so pop order is independent of the
+// internal array arrangement.
 type windowHeap []Event
 
-func (h windowHeap) Len() int           { return len(h) }
-func (h windowHeap) Less(i, j int) bool { return eventLess(h[i], h[j]) }
-func (h windowHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *windowHeap) Push(x any)        { *h = append(*h, x.(Event)) }
-func (h *windowHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1].Fn = nil
-	*h = old[:n-1]
-	return ev
+// push inserts ev and restores the heap property.
+func (h *windowHeap) push(ev Event) {
+	*h = append(*h, ev)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event.
+func (h *windowHeap) pop() Event {
+	q := *h
+	last := len(q) - 1
+	top := q[0]
+	q[0] = q[last]
+	q[last].Fn = nil // release the callback for GC
+	q = q[:last]
+	*h = q
+	i := 0
+	for {
+		small := i
+		if l := 2*i + 1; l < len(q) && eventLess(q[l], q[small]) {
+			small = l
+		}
+		if r := 2*i + 2; r < len(q) && eventLess(q[r], q[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	return top
 }

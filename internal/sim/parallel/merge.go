@@ -1,6 +1,6 @@
 package parallel
 
-import "sort"
+import "slices"
 
 // eventLess is the one global event order: virtual due time, then
 // admission sequence, then partition id. With engine-stamped global
@@ -18,9 +18,37 @@ func eventLess(a, b Event) bool {
 	return a.Part < b.Part
 }
 
-// sortEvents sorts events into the global order.
+// eventCmp is eventLess as a three-way comparator for slices.SortFunc.
+// The order is strict and total — (At, Seq, Part) never ties — so the
+// sorted permutation is unique and any correct sort produces it.
+func eventCmp(a, b Event) int {
+	if a.At != b.At {
+		if a.At < b.At {
+			return -1
+		}
+		return 1
+	}
+	if a.Seq != b.Seq {
+		if a.Seq < b.Seq {
+			return -1
+		}
+		return 1
+	}
+	if a.Part != b.Part {
+		if a.Part < b.Part {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// sortEvents sorts events into the global order. slices.SortFunc is
+// generic: unlike sort.Slice it neither boxes the slice through `any`
+// nor allocates a closure, so the per-round staging sort is
+// allocation-free.
 func sortEvents(evs []Event) {
-	sort.Slice(evs, func(i, j int) bool { return eventLess(evs[i], evs[j]) })
+	slices.SortFunc(evs, eventCmp)
 }
 
 // MergeOrdered drains every partition's due events and returns them in
@@ -43,31 +71,45 @@ func MergeOrdered(parts []*Partition) []Event {
 
 // MergeRuns merges per-partition runs that are already sorted (the
 // output of concurrent Partition.TakeDue calls) into the global order.
-// It is the parallel engine's round merge: a deterministic k-way merge
-// whose result depends only on the run contents, never on which worker
-// produced which run first.
+// It is the deterministic k-way merge behind the parallel engine's
+// round: the result depends only on the run contents, never on which
+// worker produced which run first. The engine itself calls mergeInto
+// with its reused window buffer; this wrapper allocates a fresh result
+// (and copies the run headers, so the caller's slice survives) for
+// standalone use.
+//
+//vet:hotpath
 func MergeRuns(runs [][]Event) []Event {
-	total := 0
-	for _, r := range runs {
-		total += len(r)
-	}
-	if total == 0 {
-		return nil
-	}
-	out := make([]Event, 0, total)
-	cursors := make([]int, len(runs))
-	for len(out) < total {
+	heads := make([][]Event, len(runs))
+	copy(heads, runs)
+	return mergeInto(nil, heads)
+}
+
+// mergeInto k-way-merges the sorted runs into dst's backing array
+// (resetting its length first) and returns the merged slice. It
+// consumes the run headers in place — callers pass a scratch they own.
+// With a strict total order and runs already sorted, the output is the
+// unique globally sorted sequence.
+//
+// mergeInto is a declared merge function of the partition boundary,
+// like MergeRuns: it is the crossing point the engine's round actually
+// executes, so it is held to the same determinism closures.
+func mergeInto(dst []Event, runs [][]Event) []Event {
+	dst = dst[:0]
+	for {
 		best := -1
 		for i, r := range runs {
-			if cursors[i] >= len(r) {
+			if len(r) == 0 {
 				continue
 			}
-			if best < 0 || eventLess(r[cursors[i]], runs[best][cursors[best]]) {
+			if best < 0 || eventLess(r[0], runs[best][0]) {
 				best = i
 			}
 		}
-		out = append(out, runs[best][cursors[best]])
-		cursors[best]++
+		if best < 0 {
+			return dst
+		}
+		dst = append(dst, runs[best][0])
+		runs[best] = runs[best][1:]
 	}
-	return out
 }
