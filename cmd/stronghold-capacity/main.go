@@ -27,7 +27,13 @@ func main() {
 	hidden := flag.Int("hs", 2560, "hidden size")
 	batch := flag.Int("b", 4, "batch size per GPU")
 	platform := flag.String("platform", "v100", "platform: v100 | a10-cluster")
+	methodSpec := flag.String("methods", "", `methods to tabulate: name, comma list, or "all" (default: every single-node method); "list" prints the registry`)
 	flag.Parse()
+
+	if *methodSpec == "list" {
+		fmt.Print(modelcfg.MethodList())
+		return
+	}
 
 	var plat hw.Platform
 	switch *platform {
@@ -61,10 +67,20 @@ func main() {
 		plat.Name, plat.GPU.MemBytes/hw.GB, plat.CPU.UsableMemBytes/hw.GB, plat.NVMe.Bytes/hw.GB)
 
 	fmt.Printf("%-22s %10s %10s %10s  %s\n", "method", "GPU", "host", "disk", "verdict")
-	methods := []modelcfg.Method{
-		modelcfg.Megatron, modelcfg.L2L, modelcfg.ZeROOffload,
-		modelcfg.ZeROInfinity, modelcfg.ZeROInfinityNVMe,
-		modelcfg.Stronghold, modelcfg.StrongholdNVMe,
+	var methods []modelcfg.Method
+	if *methodSpec == "" {
+		// Default: every single-node registry row, in display order.
+		for _, info := range modelcfg.Methods() {
+			if !info.Distributed {
+				methods = append(methods, info.M)
+			}
+		}
+	} else {
+		var err error
+		if methods, err = modelcfg.ParseMethods(*methodSpec); err != nil {
+			fmt.Fprintf(os.Stderr, "stronghold-capacity: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	gb := func(b int64) string { return fmt.Sprintf("%.1fGB", float64(b)/float64(hw.GB)) }
 	for _, m := range methods {

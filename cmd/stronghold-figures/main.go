@@ -8,8 +8,9 @@
 //
 // With no flags every experiment runs in paper order. -only selects a
 // single experiment (table1, fig1, fig4, fig6a, fig6b, fig7a, fig7b,
-// fig8a, fig8b, fig9, fig10, fig11, fig12, fig13, fig14, comm). -trace
-// writes Figure 4's Chrome trace JSON to the given path.
+// fig8a, fig8b, fig9, fig10, fig11, fig12, fig13, fig14, comm,
+// jitter, hetero, faultcmp, protocol). -trace writes Figure 4's
+// Chrome trace JSON to the given path.
 package main
 
 import (
@@ -101,6 +102,13 @@ func main() {
 				return "", err
 			}
 			return expt.RenderHeteroRows(rows), nil
+		}},
+		{"faultcmp", func() (string, error) {
+			rows, err := expt.FaultComparison()
+			if err != nil {
+				return "", err
+			}
+			return expt.RenderFaultRows(rows), nil
 		}},
 		{"protocol", func() (string, error) {
 			v := expt.Variance(10)

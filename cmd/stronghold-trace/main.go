@@ -1,18 +1,23 @@
-// Command stronghold-trace records one STRONGHOLD training iteration's
-// execution timeline (the Figure 4 experiment) and writes it as Chrome
+// Command stronghold-trace records one training iteration's execution
+// timeline (the Figure 4 experiment) and writes it as Chrome
 // trace-event JSON loadable in chrome://tracing or Perfetto. It also
 // prints per-track busy statistics and the compute/communication
-// overlap fraction.
+// overlap fraction. -method selects any plan-driven method from the
+// shared registry — STRONGHOLD through the core engine, the ported
+// baselines (L2L, ZeRO-Offload, ZeRO-Infinity, Interleaved-Opt)
+// through the baseline plan executor.
 //
 // Usage:
 //
 //	stronghold-trace -l 50 -hs 2560 -b 4 -o trace.json
+//	stronghold-trace -method zero-infinity -l 20 -plan
 //
 // With -plan the command prints the validated schedule IR for one
 // iteration instead of simulating: deterministic text by default, JSON
 // with -plan-json, or a line diff against the plan for another window
 // size with -plan-diff (how a mid-run adaptive re-solve changes the
-// schedule).
+// schedule; STRONGHOLD methods only — the baseline schedules have no
+// window to vary).
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"fmt"
 	"os"
 
+	"stronghold/internal/baselines"
 	"stronghold/internal/core"
 	"stronghold/internal/hw"
 	"stronghold/internal/modelcfg"
@@ -30,24 +36,73 @@ import (
 )
 
 func main() {
+	method := flag.String("method", "stronghold", `plan-driven method to trace ("list" prints the registry)`)
 	layers := flag.Int("l", 50, "number of transformer layers")
 	hidden := flag.Int("hs", 2560, "hidden size")
 	batch := flag.Int("b", 4, "batch size")
-	window := flag.Int("w", 0, "window size (0 = analytic)")
+	window := flag.Int("w", 0, "window size (0 = analytic; STRONGHOLD methods only)")
 	out := flag.String("o", "trace.json", "output path for Chrome trace JSON")
 	planMode := flag.Bool("plan", false, "print the iteration's schedule plan instead of simulating")
 	planJSON := flag.Bool("plan-json", false, "with -plan: emit indented JSON instead of text")
-	planDiff := flag.Int("plan-diff", 0, "with -plan: diff against the plan for this window size")
+	planDiff := flag.Int("plan-diff", 0, "with -plan: diff against the plan for this window size (STRONGHOLD methods only)")
 	flag.Parse()
+
+	if *method == "list" {
+		fmt.Print(modelcfg.MethodList())
+		return
+	}
+	mth, err := modelcfg.ParseMethod(*method)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	info := modelcfg.Lookup(mth)
+	if !info.PlanDriven {
+		fatalf("method %s is not plan-driven: it has no schedule IR or event timeline to record", info.Key)
+	}
 
 	cfg := modelcfg.NewConfig(*layers, *hidden, 16)
 	cfg.BatchSize = *batch
 	m := perf.NewModel(cfg, hw.V100Platform())
-	e := core.NewEngine(m)
-	e.Window = *window
 
+	if info.Engine == modelcfg.EngineCore {
+		runCore(m, info, cfg, *window, *out, *planMode, *planJSON, *planDiff)
+		return
+	}
+
+	// Plan-driven baseline: fixed schedule, no window decision.
+	if *planDiff > 0 {
+		fatalf("-plan-diff varies the working window, which %s does not have", info.Key)
+	}
 	if *planMode {
-		printPlan(e, *window, *planDiff, *planJSON)
+		it, err := baselines.PlanFor(mth, m)
+		if err != nil {
+			fatalf("plan: %v", err)
+		}
+		renderPlan(it, *planJSON)
+		return
+	}
+	tr := trace.New()
+	r := baselines.RunWith(mth, m, baselines.Options{Trace: tr})
+	if r.OOM {
+		fatalf("configuration does not fit: %s", r.OOMDetail)
+	}
+	fmt.Printf("model: %.1fB parameters (%d layers, hidden %d, batch %d)\n",
+		cfg.ParamsBillion(), cfg.Layers, cfg.Hidden, cfg.BatchSize)
+	fmt.Printf("method: %s (baseline plan executor)\n", info.Display)
+	fmt.Printf("steady-state iteration: %.3fs, %.1f%% of transfer time hidden under compute\n",
+		sim.Seconds(r.IterTime), r.Overlap*100)
+	reportTrace(tr, *out)
+}
+
+// runCore is the STRONGHOLD path: solve the window, simulate on the
+// discrete-event engine, report the timeline.
+func runCore(m perf.Model, info *modelcfg.MethodInfo, cfg modelcfg.Config, window int, out string, planMode, planJSON bool, planDiff int) {
+	e := core.NewEngine(m)
+	e.Window = window
+	e.Feat.UseNVMe = info.NVMe
+
+	if planMode {
+		printPlan(e, window, planDiff, planJSON)
 		return
 	}
 
@@ -67,7 +122,12 @@ func main() {
 		d.M, d.MFP, d.MBP, d.MOpt, d.MemoryBound, d.AsyncFeasible)
 	fmt.Printf("steady-state iteration: %.3fs, %.1f%% of transfer time hidden under compute\n",
 		sim.Seconds(r.IterTime), r.Overlap*100)
+	reportTrace(tr, out)
+}
 
+// reportTrace prints the per-track busy stats and occupancy chart and
+// writes the Chrome trace JSON.
+func reportTrace(tr *trace.Trace, out string) {
 	kinds := []trace.Kind{trace.KindCompute, trace.KindH2D, trace.KindD2H, trace.KindOptimize, trace.KindNVMe}
 	for _, k := range kinds {
 		busy := tr.Busy(k)
@@ -84,10 +144,10 @@ func main() {
 	if err != nil {
 		fatalf("trace export: %v", err)
 	}
-	if err := os.WriteFile(*out, js, 0o644); err != nil {
-		fatalf("write %s: %v", *out, err)
+	if err := os.WriteFile(out, js, 0o644); err != nil {
+		fatalf("write %s: %v", out, err)
 	}
-	fmt.Printf("trace written to %s (%d events)\n", *out, tr.Len())
+	fmt.Printf("trace written to %s (%d events)\n", out, tr.Len())
 }
 
 // printPlan renders the engine's validated plan for the configured
@@ -111,6 +171,11 @@ func printPlan(e *core.Engine, window, other int, asJSON bool) {
 		fmt.Printf("plan diff m=%d -> m=%d:\n%s", it.Window, to.Window, d)
 		return
 	}
+	renderPlan(it, asJSON)
+}
+
+// renderPlan prints one validated iteration plan as text or JSON.
+func renderPlan(it *plan.Iteration, asJSON bool) {
 	if asJSON {
 		js, err := plan.JSON(it)
 		if err != nil {

@@ -11,10 +11,16 @@
 //
 //	stronghold-train -functional -l 4 -hs 32 -b 2 -w 2 -iters 20
 //
-// Degraded-mode study (deterministic fault injection, STRONGHOLD only):
+// Degraded-mode study (deterministic fault injection, plan-driven
+// methods only):
 //
 //	stronghold-train -m stronghold -l 50 -faults "h2d:slow(at=0s,dur=1s,every=1s,factor=0.15)"
-//	stronghold-train -m stronghold -l 50 -faults "..." -no-adapt
+//	stronghold-train -m zero-offload -l 20 -faults "..."
+//
+// Method names come from the shared registry: -m accepts a canonical
+// key, an alias, a comma list, or "all"; -m list prints every method.
+// -coopt lets the solver co-optimize the window size together with a
+// fractional GPU/CPU optimizer placement (STRONGHOLD methods).
 //
 // Flags mirror the artifact's parameters: -l layers, -hs hidden size,
 // -b batch size, -w window size (0 = analytic, STRONGHOLD only).
@@ -24,23 +30,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"stronghold"
+	"stronghold/internal/modelcfg"
 )
 
-var methodNames = map[string]stronghold.Method{
-	"megatron-lm":        stronghold.Megatron,
-	"l2l":                stronghold.L2L,
-	"zero-offload":       stronghold.ZeROOffload,
-	"zero-infinity":      stronghold.ZeROInfinity,
-	"zero-infinity-nvme": stronghold.ZeROInfinityNVMe,
-	"stronghold":         stronghold.Stronghold,
-	"stronghold-nvme":    stronghold.StrongholdNVMe,
-}
-
 func main() {
-	method := flag.String("m", "stronghold", "method: megatron-lm | l2l | zero-offload | zero-infinity | zero-infinity-nvme | stronghold | stronghold-nvme | all")
+	method := flag.String("m", "stronghold", `method name, comma list, or "all" (the single-GPU comparison set); "list" prints the registry`)
 	layers := flag.Int("l", 16, "number of transformer layers")
 	hidden := flag.Int("hs", 2048, "hidden size")
 	batch := flag.Int("b", 4, "batch size per GPU")
@@ -48,10 +44,16 @@ func main() {
 	platform := flag.String("platform", "v100", "platform: v100 | a10-cluster")
 	functional := flag.Bool("functional", false, "train a real small model instead of simulating")
 	iters := flag.Int("iters", 10, "functional-mode training iterations")
-	faults := flag.String("faults", "", `fault plan, e.g. "seed=7;h2d:slow(at=0s,dur=1s,every=1s,factor=0.2)" (STRONGHOLD only)`)
+	coopt := flag.Bool("coopt", false, "co-optimize window size and fractional optimizer placement (STRONGHOLD methods only)")
+	faults := flag.String("faults", "", `fault plan, e.g. "seed=7;h2d:slow(at=0s,dur=1s,every=1s,factor=0.2)" (plan-driven methods only)`)
 	noAdapt := flag.Bool("no-adapt", false, "freeze the working window under faults (disable adaptive re-solve)")
 	workers := flag.Int("workers", 0, "simulation worker goroutines (>1 = conservative parallel engine; results are byte-identical at any count; STRONGHOLD only)")
 	flag.Parse()
+
+	if *method == "list" {
+		fmt.Print(modelcfg.MethodList())
+		return
+	}
 
 	if *functional {
 		runFunctional(*layers, *hidden, *batch, *window, *iters)
@@ -65,25 +67,19 @@ func main() {
 		fatalf("unknown platform %q", *platform)
 	}
 
-	var methods []string
-	if *method == "all" {
-		methods = []string{"megatron-lm", "l2l", "zero-offload", "zero-infinity", "stronghold"}
-	} else {
-		methods = []string{strings.ToLower(*method)}
+	methods, err := modelcfg.ParseMethods(*method)
+	if err != nil {
+		fatalf("%v", err)
 	}
 	fmt.Printf("%-22s %8s %12s %10s %8s %9s\n", "method", "model", "iter(s)", "samples/s", "TFLOPS", "gpu-peak")
-	for _, name := range methods {
-		m, ok := methodNames[name]
-		if !ok {
-			fatalf("unknown method %q", name)
-		}
+	for _, m := range methods {
 		res, err := stronghold.Simulate(stronghold.SimConfig{
 			Layers: *layers, Hidden: *hidden, BatchSize: *batch,
-			Platform: plat, Method: m, Window: *window,
+			Platform: plat, Method: m, Window: *window, CoOpt: *coopt,
 			Faults: *faults, DisableAdapt: *noAdapt, Workers: *workers,
 		})
 		if err != nil {
-			fatalf("%s: %v", name, err)
+			fatalf("%s: %v", modelcfg.MethodKey(m), err)
 		}
 		if res.OOM {
 			fmt.Printf("%-22s %7.1fB %12s\n", m, res.ModelBillions, "OOM")
@@ -91,6 +87,10 @@ func main() {
 		}
 		fmt.Printf("%-22s %7.1fB %12.2f %10.3f %8.2f %7.1fGB\n",
 			m, res.ModelBillions, res.IterSeconds, res.SamplesPerSec, res.TFLOPS, res.GPUPeakGB)
+		if res.OptGPUFrac > 0 {
+			fmt.Printf("%-22s co-optimized placement: %.1f%% of each offloaded layer's optimizer on GPU\n",
+				"", res.OptGPUFrac*100)
+		}
 		if *faults != "" {
 			fmt.Printf("%-22s degraded mode: %d retries, %d deadline misses, %d re-solves, final window %d\n",
 				"", res.Retries, res.DeadlineMisses, res.WindowResolves, res.FinalWindow)

@@ -1,16 +1,19 @@
 // Package baselines implements the competing training systems the
 // paper evaluates against (§V-C): Megatron-LM (resident GPU training),
 // L2L (synchronous one-layer offloading), ZeRO-Offload (static
-// CPU-optimizer offloading), and ZeRO-Infinity (partitioned states on
-// CPU RAM or NVMe). Every baseline is costed from the same perf.Model
+// CPU-optimizer offloading), ZeRO-Infinity (partitioned states on
+// CPU RAM or NVMe) and the interleaved optimizer offloading of Deep
+// Optimizer States. Every baseline is costed from the same perf.Model
 // kernel/transfer numbers the STRONGHOLD engine uses, plus per-method
 // software-stack constants calibrated in calib.go — the comparisons
 // differ in *scheduling and stack overheads*, never in kernel speed.
-// L2L and ZeRO-Offload run as planner-emitted plans (planner.go) on the
-// shared plan executor over explicit-duration resources (planrun.go),
-// so they produce real traces, overlap fractions and degrade under
-// fault plans; Megatron and ZeRO-Infinity remain closed-form schedules,
-// retained below also as cross-checks for the plan-driven methods.
+// Dispatch goes through the modelcfg method registry: every
+// plan-driven method runs as a planner-emitted plan (planner.go,
+// strategies.go) on the shared plan executor over explicit-duration
+// resources (planrun.go), so it produces real traces, overlap
+// fractions and degrades under fault plans; Megatron remains a closed
+// form, and the other closed forms below are retained as cross-checks
+// for the plan-driven schedules.
 package baselines
 
 import (
@@ -22,21 +25,28 @@ import (
 )
 
 // Run simulates one steady-state training iteration of the given method
-// and model, returning its timing or an OOM outcome. Supported methods:
-// Megatron, L2L, ZeROOffload, ZeROInfinity, ZeROInfinityNVMe. (ZeRO-2/3
-// are distributed-only; see the cluster package.)
+// and model, returning its timing or an OOM outcome. Supported methods
+// are the registry rows with Engine == EngineBaseline: Megatron, L2L,
+// ZeROOffload, ZeROInfinity, ZeROInfinityNVMe, InterleavedOpt.
+// (ZeRO-2/3 are distributed-only; see the cluster package.)
 func Run(method modelcfg.Method, m perf.Model) perf.IterationResult {
 	return RunWith(method, m, Options{})
 }
 
-// RunWith is Run with tracing and fault injection. L2L and ZeRO-Offload
-// run as planner-emitted plans on the shared executor (event-driven,
-// with real traces and overlap); Megatron and ZeRO-Infinity remain
-// closed-form schedules, for which Options is inert.
+// RunWith is Run with tracing and fault injection. Plan-driven methods
+// (every baseline except Megatron) run as planner-emitted plans on the
+// shared executor — event-driven, with real traces and overlap;
+// Megatron remains a closed-form schedule, for which Options is inert.
 func RunWith(method modelcfg.Method, m perf.Model, opts Options) perf.IterationResult {
 	res := perf.IterationResult{Method: method}
 	if err := m.Cfg.Validate(); err != nil {
 		res.OOM, res.OOMDetail = true, err.Error()
+		return res
+	}
+	info := modelcfg.Lookup(method)
+	if info == nil || info.Engine != modelcfg.EngineBaseline {
+		res.OOM = true
+		res.OOMDetail = fmt.Sprintf("baselines: unsupported method %s", method)
 		return res
 	}
 	fp := modelcfg.Footprint(method, m.Cfg, 0, 1)
@@ -50,21 +60,16 @@ func RunWith(method modelcfg.Method, m perf.Model, opts Options) perf.IterationR
 	res.GPUPeak = fp.GPU
 	pressure := pressurePenalty(float64(fp.GPU) / float64(plat.GPU.MemBytes))
 
-	switch method {
-	case modelcfg.Megatron:
+	if !info.PlanDriven {
 		res.IterTime = megatronIter(m)
-	case modelcfg.L2L:
-		runPlanned(l2lPlan(m, pressure), opts, &res)
-	case modelcfg.ZeROOffload:
-		runPlanned(zeroOffloadPlan(m, pressure), opts, &res)
-	case modelcfg.ZeROInfinity:
-		res.IterTime = zeroInfinityIter(m, pressure, false)
-	case modelcfg.ZeROInfinityNVMe:
-		res.IterTime = zeroInfinityIter(m, pressure, true)
-	default:
-		res.OOM = true
-		res.OOMDetail = fmt.Sprintf("baselines: unsupported method %s", method)
+		return res
 	}
+	it, err := methodPlan(method, m, pressure)
+	if err != nil {
+		res.OOM, res.OOMDetail = true, err.Error()
+		return res
+	}
+	runPlanned(it, opts, &res)
 	return res
 }
 

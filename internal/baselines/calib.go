@@ -49,6 +49,20 @@ const (
 	// >800× below Megatron; Fig. 10: ≥8× below STRONGHOLD's staged
 	// sequential I/O).
 	zeroInfinityNVMeRandomFactor = 0.15
+
+	// interleavedGPUShare is the fraction of each layer's optimizer
+	// update Deep Optimizer States places on the GPU: its subgroup
+	// partitioning balances the device stream against the host update so
+	// both drain under the remaining backward compute (the paper's
+	// near-even split on PCIe-attached devices).
+	interleavedGPUShare = 0.5
+
+	// interleavedCPUAdamBW is the effective DRAM bandwidth of the
+	// interleaved method's CPU subgroup updates, in bytes/s. Higher than
+	// zeroOffloadCPUAdamBW because the subgroup layout streams moments
+	// through contiguous pinned staging buffers instead of walking the
+	// full fused-optimizer working set.
+	interleavedCPUAdamBW = 8e9
 )
 
 // pressurePenalty models allocator behaviour near device-memory

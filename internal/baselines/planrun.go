@@ -25,14 +25,15 @@ type Options struct {
 
 // planEnv is the explicit-duration execution environment the baseline
 // plans run against: plain FIFO resources for the GPU kernel queue, the
-// host-side software loop, the two PCIe directions and the CPU
-// optimizer. Every op is issued by its DurNS; bytes and flops on the
-// ops are documentation (and validator input), not physics.
+// host-side software loop, the two PCIe directions, the NVMe device and
+// the CPU optimizer. Every op is issued by its DurNS; bytes and flops
+// on the ops are documentation (and validator input), not physics.
 type planEnv struct {
 	eng    *sim.Engine
 	queues []*sim.Resource // plan queue index → resource (0 gpu, 1 host)
 	h2d    *sim.Resource
 	d2h    *sim.Resource
+	nvme   *sim.Resource
 	cpuOpt *sim.Resource
 	tr     *trace.Trace
 	err    error
@@ -43,6 +44,7 @@ func newPlanEnv(eng *sim.Engine, queues int, tr *trace.Trace) *planEnv {
 		eng:    eng,
 		h2d:    sim.NewResource(eng, "pcie-h2d"),
 		d2h:    sim.NewResource(eng, "pcie-d2h"),
+		nvme:   sim.NewResource(eng, "nvme"),
 		cpuOpt: sim.NewResource(eng, "cpu-opt"),
 		tr:     tr,
 	}
@@ -62,6 +64,7 @@ func newPlanEnv(eng *sim.Engine, queues int, tr *trace.Trace) *planEnv {
 func (e *planEnv) degrade(inj *fault.Injector) {
 	e.h2d.SetStretch(inj.StretchAll(fault.H2D))
 	e.d2h.SetStretch(inj.StretchAll(fault.D2H))
+	e.nvme.SetStretch(inj.StretchAll(fault.NVMe))
 	e.cpuOpt.SetStretch(inj.StretchAll(fault.CPU))
 }
 
@@ -78,10 +81,12 @@ func (e *planEnv) Issue(op *plan.Op, deps []*sim.Signal) *sim.Signal {
 		return e.timed(e.h2d, op, trace.KindH2D, deps)
 	case plan.Offload:
 		return e.timed(e.d2h, op, trace.KindD2H, deps)
-	case plan.BufAcquire, plan.BufRelease:
-		// No device pool here: buffer ops are pure ordering points, but
-		// executing them keeps the validated plan and the executed
-		// schedule the same object.
+	case plan.NVMeStage:
+		return e.timed(e.nvme, op, trace.KindNVMe, deps)
+	case plan.BufAcquire, plan.BufRelease, plan.Join:
+		// No device pool here: buffer ops and joins are pure ordering
+		// points, but executing them keeps the validated plan and the
+		// executed schedule the same object.
 		sig := sim.NewSignal(e.eng)
 		sim.WaitAll(e.eng, deps, sig.Fire)
 		return sig

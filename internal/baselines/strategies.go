@@ -1,0 +1,323 @@
+package baselines
+
+import (
+	"fmt"
+
+	"stronghold/internal/modelcfg"
+	"stronghold/internal/perf"
+	"stronghold/internal/plan"
+	"stronghold/internal/sim"
+)
+
+// This file holds the strategy planners added with the offload-method
+// registry (modelcfg.MethodInfo): ZeRO-Infinity's streamed schedule on
+// CPU RAM or NVMe demand paging, and Deep Optimizer States' interleaved
+// CPU/GPU optimizer placement — lowered onto the same plan IR as
+// l2lPlan and zeroOffloadPlan so they produce real traces, measured
+// overlap and degrade under fault plans. methodPlan is the
+// registry-driven dispatch RunWith uses; the closed forms in
+// baselines.go remain as cross-checks (strategies_test.go).
+
+// methodPlan lowers a plan-driven baseline method into its iteration
+// plan. The caller has already checked the footprint; pressure is the
+// allocator-pressure penalty for this model on this platform.
+func methodPlan(method modelcfg.Method, m perf.Model, pressure float64) (*plan.Iteration, error) {
+	switch method {
+	case modelcfg.L2L:
+		return l2lPlan(m, pressure), nil
+	case modelcfg.ZeROOffload:
+		return zeroOffloadPlan(m, pressure), nil
+	case modelcfg.ZeROInfinity:
+		return zeroInfinityPlan(m, pressure, false), nil
+	case modelcfg.ZeROInfinityNVMe:
+		return zeroInfinityPlan(m, pressure, true), nil
+	case modelcfg.InterleavedOpt:
+		return interleavedOptPlan(m, pressure), nil
+	}
+	return nil, fmt.Errorf("baselines: no planner for method %s", method)
+}
+
+// PlanFor builds the validated iteration plan a plan-driven baseline
+// method would execute for this model — what the trace and figure
+// commands render. It fails for methods the baseline engine does not
+// plan (closed-form Megatron, the core-engine and cluster methods).
+func PlanFor(method modelcfg.Method, m perf.Model) (*plan.Iteration, error) {
+	info := modelcfg.Lookup(method)
+	if info == nil || info.Engine != modelcfg.EngineBaseline || !info.PlanDriven {
+		return nil, fmt.Errorf("baselines: method %s is not a plan-driven baseline", method)
+	}
+	fp := modelcfg.Footprint(method, m.Cfg, 0, 1)
+	pressure := pressurePenalty(float64(fp.GPU) / float64(m.Plat.GPU.MemBytes))
+	it, err := methodPlan(method, m, pressure)
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.Validate(it); err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// zeroInfinityPlan is ZeRO-Infinity's schedule as a plan: every layer's
+// partitioned states stream host→device before each visit in both
+// passes (at twice STRONGHOLD's weight-only volume — parameters plus
+// partition metadata and gradient buffers), each visit pays the
+// per-layer runtime refactoring copy on the host loop (§VI-A), and the
+// fused CPU optimizer runs over all parameters at the end, its
+// half-overlap with the backward tail priced into the explicit
+// duration exactly as in the closed form. The device side is a
+// two-slot streamed window like L2L's (one resident block, one in
+// flight). In NVMe mode the states live on secondary storage and are
+// demand-paged per visit: the page-in is issued only when the layer is
+// needed — behind the previous kernel, nothing reads ahead — and every
+// page-in recycles the two-slot host staging ring from the page-out
+// two epochs earlier, which serializes the small-block I/O with
+// compute; that synchronous paging is the collapse the paper measures
+// (Fig. 1b).
+func zeroInfinityPlan(m perf.Model, pressure float64, nvme bool) *plan.Iteration {
+	lt := m.Layer()
+	n := m.Cfg.Layers
+	volBytes := int64(float64(m.Cfg.LayerWeightBytes()) * zeroInfinityVolumeFactor)
+	c2g := sim.Time(float64(lt.C2G) * zeroInfinityVolumeFactor)
+	g2c := sim.Time(float64(lt.G2C) * zeroInfinityVolumeFactor)
+	params := m.Cfg.TotalParams() / int64(m.Cfg.ModelParallel)
+	optDur := sim.Time(float64(params*28) / zeroOffloadCPUAdamBW * 1e9 / 2 * pressure)
+	embed := m.EmbeddingTime()
+
+	var ioBytes int64
+	var readDur, writeDur sim.Time
+	if nvme {
+		bytes := float64(params*zeroInfinityNVMeBytesPerParam) / float64(n)
+		ioBytes = int64(bytes)
+		readDur = sim.Time(bytes / (m.Plat.NVMe.ReadBW * zeroInfinityNVMeRandomFactor) * 1e9)
+		writeDur = sim.Time(bytes / (m.Plat.NVMe.WriteBW * zeroInfinityNVMeRandomFactor) * 1e9)
+	}
+
+	it := &plan.Iteration{Layers: n, Window: 1, Queues: 2, BudgetSlots: 2}
+	if nvme {
+		it.NVMe = true
+		it.RingSlots = 2
+	}
+	add := func(op plan.Op) plan.ID {
+		op.ID = plan.ID(len(it.Ops))
+		it.Ops = append(it.Ops, op)
+		return op.ID
+	}
+
+	// spills is the global page-out order; page-in k recycles the ring
+	// slot of page-out k-2 (the two-slot staging ring), which is also
+	// the explicit edge the validator's funding argument needs.
+	var spills []plan.ID
+	stage := func(name string, layer int, write bool, deps []plan.ID) plan.ID {
+		dur := readDur
+		if write {
+			dur = writeDur
+		}
+		id := add(plan.Op{Kind: plan.NVMeStage, Name: name, Layer: layer,
+			Queue: -1, Bytes: ioBytes, DurNS: dur, Write: write, Deps: deps})
+		if write {
+			spills = append(spills, id)
+		}
+		return id
+	}
+	pageIn := func(name string, layer int, prev plan.ID) plan.ID {
+		deps := []plan.ID{prev}
+		if len(spills) >= 2 {
+			deps = append(deps, spills[len(spills)-2])
+		}
+		return stage(name, layer, false, deps)
+	}
+
+	embedFP := add(plan.Op{Kind: plan.ComputeFP, Name: "fp embed",
+		Layer: -1, Queue: 0, DurNS: embed})
+
+	fpRelease := make([]plan.ID, n)
+	prev := embedFP
+	for i := 0; i < n; i++ {
+		var acqDeps []plan.ID
+		if i >= 2 {
+			acqDeps = []plan.ID{fpRelease[i-2]}
+		}
+		acq := add(plan.Op{Kind: plan.BufAcquire, Name: fmt.Sprintf("acquire L%d", i),
+			Layer: i, Queue: -1, Bytes: volBytes, Deps: acqDeps})
+		fetchDeps := []plan.ID{acq}
+		if nvme {
+			fetchDeps = append(fetchDeps, pageIn(fmt.Sprintf("page-in L%d", i), i, prev))
+		}
+		up := add(plan.Op{Kind: plan.Prefetch, Name: fmt.Sprintf("fetch L%d", i),
+			Layer: i, Queue: -1, Bytes: volBytes, DurNS: c2g, Deps: fetchDeps})
+		// The refactoring copy is synchronous in ZeRO's engine: it gates
+		// the kernel and waits for the previous one, so it lands on the
+		// critical path of every visit (perFP in the closed form).
+		ref := add(plan.Op{Kind: plan.ComputeFP, Name: fmt.Sprintf("refactor L%d", i),
+			Layer: i, Queue: 1, DurNS: zeroInfinityRefactorNS, Deps: []plan.ID{up, prev}})
+		k := add(plan.Op{Kind: plan.ComputeFP, Name: fmt.Sprintf("fp L%d", i),
+			Layer: i, Queue: 0, DurNS: lt.FP, Deps: []plan.ID{ref}})
+		relDeps := []plan.ID{k}
+		if nvme {
+			relDeps = []plan.ID{stage(fmt.Sprintf("page-out L%d", i), i, true, []plan.ID{k})}
+		}
+		fpRelease[i] = add(plan.Op{Kind: plan.BufRelease, Name: fmt.Sprintf("release L%d", i),
+			Layer: i, Queue: -1, Deps: relDeps})
+		prev = k
+	}
+
+	head := add(plan.Op{Kind: plan.ComputeFP, Name: "fp head+loss",
+		Layer: -1, Queue: 0, DurNS: embed, Deps: []plan.ID{prev}})
+
+	bpRelease := make([]plan.ID, n)
+	grads := make([]plan.ID, 0, n)
+	prev = head
+	for i := n - 1; i >= 0; i-- {
+		// The first two backward acquires recycle the last two forward
+		// slots; the explicit edges make the budget funding provable even
+		// when those releases wait on NVMe page-outs. Later acquires
+		// recycle the backward slot released two visits earlier.
+		acqDeps := []plan.ID{fpRelease[i], prev}
+		if i+2 <= n-1 {
+			acqDeps = append(acqDeps, bpRelease[i+2])
+		} else if i != n-2 && n >= 2 {
+			acqDeps = append(acqDeps, fpRelease[n-2])
+		}
+		acq := add(plan.Op{Kind: plan.BufAcquire, Name: fmt.Sprintf("bp acquire L%d", i),
+			Layer: i, Queue: -1, Bytes: volBytes, Deps: acqDeps})
+		fetchDeps := []plan.ID{acq}
+		if nvme {
+			fetchDeps = append(fetchDeps, pageIn(fmt.Sprintf("bp page-in L%d", i), i, prev))
+		}
+		up := add(plan.Op{Kind: plan.Prefetch, Name: fmt.Sprintf("bp fetch L%d", i),
+			Layer: i, Queue: -1, Bytes: volBytes, DurNS: c2g, Deps: fetchDeps})
+		ref := add(plan.Op{Kind: plan.ComputeBP, Name: fmt.Sprintf("bp refactor L%d", i),
+			Layer: i, Queue: 1, DurNS: zeroInfinityRefactorNS, Deps: []plan.ID{up, prev}})
+		k := add(plan.Op{Kind: plan.ComputeBP, Name: fmt.Sprintf("bp L%d", i),
+			Layer: i, Queue: 0, DurNS: lt.BP, Deps: []plan.ID{ref}})
+		grad := add(plan.Op{Kind: plan.Offload, Name: fmt.Sprintf("grad offload L%d", i),
+			Layer: i, Queue: -1, Bytes: volBytes, DurNS: g2c, Deps: []plan.ID{k}})
+		grads = append(grads, grad)
+		relDeps := []plan.ID{grad}
+		if nvme {
+			relDeps = []plan.ID{stage(fmt.Sprintf("bp page-out L%d", i), i, true, []plan.ID{grad})}
+		}
+		bpRelease[i] = add(plan.Op{Kind: plan.BufRelease, Name: fmt.Sprintf("bp release L%d", i),
+			Layer: i, Queue: -1, Deps: relDeps})
+		prev = k
+	}
+
+	bpEmbed := add(plan.Op{Kind: plan.ComputeBP, Name: "bp embed",
+		Layer: -1, Queue: 0, DurNS: embed, Deps: []plan.ID{prev}})
+	add(plan.Op{Kind: plan.OptStep, Name: "cpu adam fused",
+		Layer: -1, Queue: -1, DurNS: optDur,
+		Deps: append(append([]plan.ID(nil), grads...), bpEmbed)})
+	return it
+}
+
+// interleavedOptPlan is Deep Optimizer States' schedule as a plan:
+// parameters and gradients stay device-resident like ZeRO-Offload, but
+// instead of one fused CPU Adam after the backward pass, each layer's
+// update is split into an interleaved subgroup pair as soon as its
+// gradients land on the host — a CPU share updating in place, and a
+// GPU share whose moment chunk streams up, updates on a dedicated
+// device stream (queue 1, off the backward kernels' queue) and streams
+// back through a two-slot staging budget (OptSlots). The CPU-updated
+// parameter share uploads behind its subgroup. Everything overlaps the
+// remaining backward compute, so the exposed cost is one subgroup
+// drain instead of ZeRO-Offload's serial optimizer phase — the
+// method's entire advantage; kernels and transfer rates are identical.
+func interleavedOptPlan(m perf.Model, pressure float64) *plan.Iteration {
+	lt := m.Layer()
+	n := m.Cfg.Layers
+	params := m.Cfg.TotalParams() / int64(m.Cfg.ModelParallel)
+	perLayer := params / int64(n)
+	share := interleavedGPUShare
+	xfer := func(bytes int64) sim.Time {
+		return sim.Time(float64(bytes) / m.Plat.PCIe.BandwidthPerDir * 1e9 * pressure)
+	}
+	gradBytes := perLayer * modelcfg.BytesGrad
+	momBytes := int64(share * float64(perLayer*modelcfg.BytesOptState))
+	upBytes := int64((1 - share) * float64(perLayer*modelcfg.BytesParam))
+	cpuDur := sim.Time((1 - share) * float64(perLayer*28) / interleavedCPUAdamBW * 1e9 * pressure)
+	gpuDur := sim.Time(share * float64(perLayer*28) / m.Plat.GPU.MemBandwidth * 1e9)
+	gpuEmbedOpt := sim.Time(float64(m.Cfg.EmbeddingParams()*28) / m.Plat.GPU.MemBandwidth * 1e9)
+	embed := m.EmbeddingTime()
+
+	resident := make([]int, n)
+	for i := range resident {
+		resident[i] = i
+	}
+	it := &plan.Iteration{
+		Layers: n, Window: n, Queues: 2, OptSlots: 2,
+		EntryResident: resident, ExitResident: resident,
+	}
+	add := func(op plan.Op) plan.ID {
+		op.ID = plan.ID(len(it.Ops))
+		it.Ops = append(it.Ops, op)
+		return op.ID
+	}
+
+	prev := add(plan.Op{Kind: plan.ComputeFP, Name: "fp embed",
+		Layer: -1, Queue: 0, DurNS: embed})
+	for i := 0; i < n; i++ {
+		prev = add(plan.Op{Kind: plan.ComputeFP, Name: fmt.Sprintf("fp L%d", i),
+			Layer: i, Queue: 0, DurNS: lt.FP, Deps: []plan.ID{prev}})
+	}
+	prev = add(plan.Op{Kind: plan.ComputeFP, Name: "fp head+loss",
+		Layer: -1, Queue: 0, DurNS: embed, Deps: []plan.ID{prev}})
+
+	momWB := make([]plan.ID, n)
+	for i := range momWB {
+		momWB[i] = -1
+	}
+	for i := n - 1; i >= 0; i-- {
+		k := add(plan.Op{Kind: plan.ComputeBP, Name: fmt.Sprintf("bp L%d", i),
+			Layer: i, Queue: 0, DurNS: lt.BP, Deps: []plan.ID{prev}})
+		grad := add(plan.Op{Kind: plan.Offload, Name: fmt.Sprintf("grad offload L%d", i),
+			Layer: i, Queue: -1, Bytes: gradBytes, DurNS: xfer(gradBytes), Deps: []plan.ID{k}})
+		cpuOp := add(plan.Op{Kind: plan.OptStep, Name: fmt.Sprintf("adam L%d cpu", i),
+			Layer: i, Queue: -1, Frac: 1 - share, DurNS: cpuDur, Deps: []plan.ID{grad}})
+		// The moment fetch recycles the staging slot written back two
+		// subgroups earlier (the validator's funding edge).
+		fetchDeps := []plan.ID{grad}
+		if i+2 < n && momWB[i+2] >= 0 {
+			fetchDeps = append(fetchDeps, momWB[i+2])
+		}
+		fetch := add(plan.Op{Kind: plan.Prefetch, Name: fmt.Sprintf("mom fetch L%d", i),
+			Layer: i, Queue: -1, Frac: share, Bytes: momBytes, DurNS: xfer(momBytes), Deps: fetchDeps})
+		gpuOp := add(plan.Op{Kind: plan.OptStep, Name: fmt.Sprintf("adam L%d gpu", i),
+			Layer: i, Queue: 1, GPU: true, Frac: share, DurNS: gpuDur, Deps: []plan.ID{fetch}})
+		momWB[i] = add(plan.Op{Kind: plan.Offload, Name: fmt.Sprintf("mom writeback L%d", i),
+			Layer: i, Queue: -1, Frac: share, Bytes: momBytes, DurNS: xfer(momBytes), Deps: []plan.ID{gpuOp}})
+		paramUp := add(plan.Op{Kind: plan.Prefetch, Name: fmt.Sprintf("param upload L%d", i),
+			Layer: i, Queue: -1, Bytes: upBytes, DurNS: xfer(upBytes), Deps: []plan.ID{cpuOp}})
+		add(plan.Op{Kind: plan.Join, Name: fmt.Sprintf("opt join L%d", i),
+			Layer: i, Queue: -1, Deps: []plan.ID{cpuOp, momWB[i], paramUp}})
+		prev = k
+	}
+
+	bpEmbed := add(plan.Op{Kind: plan.ComputeBP, Name: "bp embed",
+		Layer: -1, Queue: 0, DurNS: embed, Deps: []plan.ID{prev}})
+	add(plan.Op{Kind: plan.OptStep, Name: "gpu adam embed", GPU: true,
+		Layer: -1, Queue: 0, DurNS: gpuEmbedOpt, Deps: []plan.ID{bpEmbed}})
+	return it
+}
+
+// interleavedOptIter is the closed-form cross-check for
+// interleavedOptPlan: every subgroup update overlaps the remaining
+// backward compute, so the iteration is pure compute plus the longer
+// of the embedding's device-side update and the final subgroup's
+// drain (gradient offload, CPU share, parameter upload) after the
+// last backward kernel.
+func interleavedOptIter(m perf.Model, pressure float64) sim.Time {
+	params := m.Cfg.TotalParams() / int64(m.Cfg.ModelParallel)
+	perLayer := params / int64(m.Cfg.Layers)
+	share := interleavedGPUShare
+	xfer := func(bytes int64) sim.Time {
+		return sim.Time(float64(bytes) / m.Plat.PCIe.BandwidthPerDir * 1e9 * pressure)
+	}
+	gradBytes := perLayer * modelcfg.BytesGrad
+	upBytes := int64((1 - share) * float64(perLayer*modelcfg.BytesParam))
+	cpuDur := sim.Time((1 - share) * float64(perLayer*28) / interleavedCPUAdamBW * 1e9 * pressure)
+	gpuEmbedOpt := sim.Time(float64(m.Cfg.EmbeddingParams()*28) / m.Plat.GPU.MemBandwidth * 1e9)
+	compute := computeTotal(m)
+	drain := xfer(gradBytes) + cpuDur + xfer(upBytes)
+	return compute + max(gpuEmbedOpt, drain-m.EmbeddingTime())
+}

@@ -114,7 +114,8 @@ func strongholdScenario(cfg modelcfg.Config, feat core.Features, workers int) Sc
 }
 
 // baselineScenario runs one of the comparison engines (no collector:
-// the baselines are closed-form schedules without the core hooks).
+// the baseline executor has no metrics hooks; plan-driven rows still
+// report real overlap and step counts).
 func baselineScenario(method modelcfg.Method, cfg modelcfg.Config) Scenario {
 	m := perf.NewModel(cfg, hw.V100Platform())
 	return scenarioFrom(baselines.Run(method, m), m)
@@ -165,6 +166,12 @@ func Suite() []Case {
 		}},
 		{"zero-offload-1p7b", func(w int) Scenario {
 			return baselineScenario(modelcfg.ZeROOffload, cfg1p7)
+		}},
+		{"zero-infinity-1p7b", func(w int) Scenario {
+			return baselineScenario(modelcfg.ZeROInfinity, cfg1p7)
+		}},
+		{"interleaved-opt-1p7b", func(w int) Scenario {
+			return baselineScenario(modelcfg.InterleavedOpt, cfg1p7)
 		}},
 	}
 }

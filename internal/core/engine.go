@@ -60,6 +60,14 @@ type Engine struct {
 	Window     int // 0 = solve analytically during warm-up
 	Feat       Features
 	OptWorkers int // 0 = defaultOptWorkers
+	// CoOpt lets the warm-up solver co-optimize optimizer placement
+	// with the window size over the method's declared decision
+	// variables: when the roofline says a split update is strictly
+	// faster, each offloaded layer's Adam step runs 1−g on the CPU pool
+	// and g on the GPU against moment chunks round-tripped over PCIe.
+	// Off (the default), and in degraded mode, placement stays fixed
+	// and plans are byte-identical to prior releases.
+	CoOpt bool
 	// LayerScale, when non-nil (length = layers), scales each layer's
 	// compute and transfer volume — the heterogeneous-structure case of
 	// §III-B/§III-D (e.g. alternating dense/MoE blocks). Capacity
@@ -157,6 +165,23 @@ func (e *Engine) SolvedWindow() (WindowDecision, error) {
 	return SolveWindow(prof)
 }
 
+// SolvedDecision runs the warm-up profile through the co-optimizing
+// solver over the method's declared decision variables. With CoOpt off
+// the placement variable is pinned and the result reduces to
+// SolvedWindow with OptGPUFrac 0.
+func (e *Engine) SolvedDecision() (Decision, error) {
+	avail := e.availableWindowBytes()
+	prof := UniformProfile(e.Model, avail, e.optWorkers())
+	vars := modelcfg.DecisionVars{Window: true}
+	if info := modelcfg.Lookup(e.method()); info != nil {
+		vars = info.Decisions
+	}
+	if !e.CoOpt {
+		vars.OptPlacement = false
+	}
+	return Solve(prof, vars)
+}
+
 func (e *Engine) optWorkers() int {
 	if !e.Feat.ConcurrentOptimizers {
 		return 1
@@ -183,6 +208,17 @@ func (e *Engine) BuildPlan(window int) (*plan.Iteration, error) {
 	if err := e.Model.Cfg.Validate(); err != nil {
 		return nil, err
 	}
+	optFrac := 0.0
+	if e.CoOpt && e.Faults.Empty() {
+		if d, err := e.SolvedDecision(); err == nil {
+			if window == 0 {
+				window = d.M
+			}
+			if window == d.M {
+				optFrac = d.OptGPUFrac
+			}
+		}
+	}
 	if window == 0 {
 		d, err := e.SolvedWindow()
 		if err != nil {
@@ -193,7 +229,7 @@ func (e *Engine) BuildPlan(window int) (*plan.Iteration, error) {
 	if e.LayerScale != nil && len(e.LayerScale) != e.Model.Cfg.Layers {
 		return nil, fmt.Errorf("core: LayerScale has %d entries for %d layers", len(e.LayerScale), e.Model.Cfg.Layers)
 	}
-	return plan.Build(e.planSpec(window, e.PickStreams(window)))
+	return plan.Build(e.planSpec(window, e.PickStreams(window), optFrac))
 }
 
 // utilFor is the per-worker kernel utilization at the given stream
@@ -210,8 +246,9 @@ func (e *Engine) utilFor(streams int) float64 {
 }
 
 // planSpec lowers the engine's model, features and window decision into
-// the planner input for one iteration's schedule.
-func (e *Engine) planSpec(window, streams int) plan.Spec {
+// the planner input for one iteration's schedule. optFrac > 0 selects
+// the co-optimized split optimizer placement (solver Decision).
+func (e *Engine) planSpec(window, streams int, optFrac float64) plan.Spec {
 	cfg := e.Model.Cfg
 	plat := e.Model.Plat
 	util := e.utilFor(streams)
@@ -248,6 +285,11 @@ func (e *Engine) planSpec(window, streams int) plan.Spec {
 		s.GradSyncFlops = bytes / plat.GPU.MemBandwidth * util * plat.GPU.PeakFlops
 	}
 	s.ResidentOptFlops = float64(window)*e.gpuOptFlops(util) + e.gpuEmbedOptFlops(util)
+	if optFrac > 0 {
+		s.OptGPUFrac = optFrac
+		s.MomentBytes = cfg.LayerParamsShard() * modelcfg.BytesOptState
+		s.GPUOptFlops = e.gpuOptFlops(util)
+	}
 	return s
 }
 
@@ -270,6 +312,20 @@ func (e *Engine) runSim(iters int, tr *trace.Trace) (perf.IterationResult, *iter
 		return res, nil
 	}
 	window := e.Window
+	optFrac := 0.0
+	if e.CoOpt && e.Faults.Empty() {
+		// Degraded mode pins placement: the adaptive re-solve reasons
+		// about window size only, and split-update plans would complicate
+		// the mid-run patches for no modeled benefit under faults.
+		if d, err := e.SolvedDecision(); err == nil {
+			if window == 0 {
+				window = d.M
+			}
+			if window == d.M {
+				optFrac = d.OptGPUFrac
+			}
+		}
+	}
 	if window == 0 {
 		d, err := e.SolvedWindow()
 		if err != nil {
@@ -279,6 +335,7 @@ func (e *Engine) runSim(iters int, tr *trace.Trace) (perf.IterationResult, *iter
 		window = d.M
 	}
 	streams := e.PickStreams(window)
+	res.OptGPUFrac = optFrac
 
 	// Capacity check before simulating.
 	fp := modelcfg.Footprint(e.method(), cfg, window, streams)
@@ -336,6 +393,7 @@ func (e *Engine) runSim(iters int, tr *trace.Trace) (perf.IterationResult, *iter
 		bufWindow = e.maxFeasibleWindow(window, streams)
 	}
 	run := newIterRun(e, machine, window, bufWindow, streams)
+	run.optFrac = optFrac
 	// Plan the initial window and validate it before simulating: a
 	// schedule that could violate the buffer invariants is rejected here
 	// as a diagnostic, not discovered mid-simulation.
@@ -437,6 +495,9 @@ type iterRun struct {
 	// bufWindow sizes the reserved pool (and the plans' slot budget);
 	// it exceeds window only in degraded mode.
 	bufWindow int
+	// optFrac is the co-optimized GPU share of each offloaded layer's
+	// optimizer update (0 = all-CPU, the fixed paper placement).
+	optFrac float64
 	// plans caches one validated schedule per window size; the adaptive
 	// path re-plans only at unseen window sizes and patches between
 	// them. Never ranged — lookups only — so map order cannot leak.
@@ -543,7 +604,7 @@ func (r *iterRun) planFor(window int) *plan.Iteration {
 	}
 	p := r.e.planOverride
 	if p == nil {
-		spec := r.e.planSpec(window, len(r.streams))
+		spec := r.e.planSpec(window, len(r.streams), r.optFrac)
 		spec.BudgetSlots = r.bufWindow + 1
 		var err error
 		if p, err = plan.Build(spec); err != nil {
@@ -838,6 +899,8 @@ func (ev *schedEnv) Issue(op *plan.Op, deps []*sim.Signal) *sim.Signal {
 			sig.Fire()
 		})
 		return sig
+	case plan.Join:
+		return joinSignals(eng, deps)
 	}
 	if r.schedErr == nil {
 		r.schedErr = fmt.Errorf("core: plan op %d has unknown kind %d", op.ID, op.Kind)

@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 
+	"stronghold/internal/modelcfg"
 	"stronghold/internal/perf"
 	"stronghold/internal/sim"
 )
@@ -44,6 +45,12 @@ type Profile struct {
 	// so the stretch is max(W, socketBW/perThreadBW). It must match the
 	// engine's cpuOptDuration so Eq. 3 models the real chain.
 	OptPerTaskStretch int
+	// MomBytes is one layer's optimizer-moment payload, and MomH2D /
+	// MomD2H its PCIe transfer times — the price of moving a layer's
+	// update share to the GPU when the solver co-optimizes optimizer
+	// placement (Solve with DecisionVars.OptPlacement).
+	MomBytes       int64
+	MomH2D, MomD2H sim.Time
 }
 
 // UniformProfile builds a Profile from the analytic cost model — the
@@ -66,6 +73,11 @@ func UniformProfile(m perf.Model, availGPU int64, optWorkers int) Profile {
 		}
 	}
 	bwRatio := int(m.Plat.CPU.MemBandwidth / perWorkerCap(m.Plat.CPU))
+	// Moment chunks (Adam m+v) move at the same PCIe bandwidth as the
+	// weight prefetch, so their transfer time scales off TC2G by the
+	// byte ratio (per-transfer latency is negligible at layer sizes).
+	momBytes := m.Cfg.LayerParamsShard() * modelcfg.BytesOptState
+	momXfer := sim.Time(float64(momBytes) / float64(weights) * float64(lt.C2G))
 	return Profile{
 		Layers:            layers,
 		TAsync:            lt.Async,
@@ -74,6 +86,9 @@ func UniformProfile(m perf.Model, availGPU int64, optWorkers int) Profile {
 		AvailGPU:          availGPU,
 		OptWorkers:        optWorkers,
 		OptPerTaskStretch: max(optWorkers, bwRatio),
+		MomBytes:          momBytes,
+		MomH2D:            momXfer,
+		MomD2H:            momXfer,
 	}
 }
 
@@ -237,4 +252,139 @@ func (p Profile) minWindowOpt() int {
 		}
 	}
 	return n
+}
+
+// Decision is the co-optimizing solver's output: the §III-D window
+// decision plus the fractional optimizer placement split.
+type Decision struct {
+	WindowDecision
+	// OptGPUFrac is g: the share of each offloaded layer's Adam update
+	// executed on the GPU (the remaining 1−g stays on the CPU pool).
+	// Zero reproduces the paper's fixed placement.
+	OptGPUFrac float64
+}
+
+// optFracGrid is the placement search resolution: g is swept over
+// {0, 1/16, …, 12/16}. The cap below 1 keeps a CPU share on every
+// split layer, so the host master copy stays warm and the fractional
+// plan ops always partition the update.
+const (
+	optFracSteps = 16
+	optFracMax   = 12
+)
+
+// coOptMargin is the required modeled improvement before the solver
+// moves off the paper's fixed placement: the score is a bound, not a
+// simulation, and marginal predicted wins (overlapped traffic, partial
+// stalls) do not reliably survive contact with the engine. 5% keeps
+// every engagement a real one.
+const coOptMargin = 0.05
+
+// Solve co-optimizes the method's declared decision variables: always
+// the working-window size m (through SolveWindow), and — when
+// vars.OptPlacement is set — the GPU/CPU optimizer split g. The joint
+// search keeps the P1/P2 prefetch-hiding minima as a structural floor
+// on m, scores each memory-feasible (m, g) with a roofline of the
+// iteration's saturable resources plus the Eq. 3 chain excess the
+// window fails to cover, and keeps the paper's fixed-placement
+// decision unless a candidate scores strictly better; ties resolve to
+// the smaller g, then the smaller m, so the decision is deterministic.
+func Solve(p Profile, vars modelcfg.DecisionVars) (Decision, error) {
+	base, err := SolveWindow(p)
+	if err != nil {
+		return Decision{}, err
+	}
+	d := Decision{WindowDecision: base}
+	if !vars.OptPlacement {
+		return d, nil
+	}
+	n := len(p.Layers)
+	// The placement split never shrinks the window below the paper's
+	// fixed-placement decision: smaller windows re-expose the P1/P2
+	// hiding constraints the score only approximates. Co-optimization
+	// moves the split and, when that relaxes Eq. 3, grows m.
+	floor := base.M
+	bestT := sim.Time(float64(p.score(base.M, 0)) * (1 - coOptMargin))
+	engaged := false
+	for gi := 0; gi <= optFracMax; gi++ {
+		g := float64(gi) / optFracSteps
+		for m := floor; m <= n; m++ {
+			if !vars.Window && m != base.M {
+				continue
+			}
+			if p.windowBytes(m)+p.placementBytes(g) > p.AvailGPU {
+				continue
+			}
+			if t := p.score(m, g); t < bestT {
+				bestT = t
+				engaged = true
+				d.M, d.OptGPUFrac = m, g
+				d.MemoryBound = p.windowBytes(m+1)+p.placementBytes(g) > p.AvailGPU &&
+					p.chainExcess(m, g) > 0
+			}
+		}
+	}
+	if engaged {
+		d.AsyncFeasible = 5*sim.Time(n)*p.TAsync <= sim.Time(n-d.M)*p.TOptGPU
+	}
+	return d, nil
+}
+
+// score bounds one (m, g) candidate's iteration time below by its GPU
+// compute (kernels + resident updates + the g-share of offloaded
+// updates), its PCIe traffic (window recycling + the moment chunks g
+// moves), and the CPU optimizer pool's throughput on the 1−g share —
+// plus, when the window is too small to hide the per-layer update
+// chain (Eq. 3 violated, the capacity-constrained regime), the
+// uncovered chain excess that stalls the next iteration's prefetch
+// front.
+func (p Profile) score(m int, g float64) sim.Time {
+	n := len(p.Layers)
+	offloaded := n - m
+	var compute, traffic sim.Time
+	for i := 0; i < n; i++ {
+		compute += p.Layers[i].TFP + p.Layers[i].TBP
+	}
+	compute += sim.Time(m)*p.TOptGPU + sim.Time(g*float64(offloaded)*float64(p.TOptGPU))
+	for i := 0; i < offloaded; i++ {
+		traffic += 2*p.Layers[i].TC2G + 2*p.Layers[i].TG2C
+	}
+	traffic += sim.Time(g * float64(offloaded) * float64(p.MomH2D+p.MomD2H))
+	workers := max(p.OptWorkers, 1)
+	stretch := max(p.OptPerTaskStretch, workers)
+	cpu := sim.Time((1 - g) * float64(offloaded) * float64(p.TOptCPU) * float64(stretch) / float64(workers))
+	return max(compute, max(traffic, cpu)) + p.chainExcess(m, g)
+}
+
+// chainExcess is the part of one offloaded layer's update chain the
+// m-layer window cannot cover (Eq. 3 with the g-split chain): zero
+// when the chain hides under the window's compute, positive when every
+// re-prefetch of an updated layer stalls behind it.
+func (p Profile) chainExcess(m int, g float64) sim.Time {
+	if m >= len(p.Layers) {
+		return 0
+	}
+	stretch := max(p.OptPerTaskStretch, max(p.OptWorkers, 1))
+	cpuHalf := sim.Time((1 - g) * float64(p.TOptCPU) * float64(stretch))
+	gpuHalf := sim.Time(g * float64(p.MomH2D+p.MomD2H+p.TOptGPU))
+	chain := p.Layers[0].TG2C + p.Layers[0].TC2G + 5*p.TAsync + max(cpuHalf, gpuHalf)
+	var cover sim.Time
+	for i := 0; i < m && i < len(p.Layers); i++ {
+		cover += p.Layers[i].TFP + p.Layers[i].TBP
+	}
+	cover += sim.Time(m) * p.TOptGPU
+	if chain <= cover {
+		return 0
+	}
+	return chain - cover
+}
+
+// placementBytes is the extra device memory a g-split needs: two
+// staging buffers (one updating, one in flight) of the g-share of a
+// layer's moment payload.
+func (p Profile) placementBytes(g float64) int64 {
+	if g == 0 {
+		return 0
+	}
+	return 2 * int64(g*float64(p.MomBytes))
 }

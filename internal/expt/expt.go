@@ -31,12 +31,23 @@ func GeoMean(xs []float64) float64 {
 	return math.Exp(logSum / float64(len(xs)))
 }
 
-// methodsSingleGPU is the Figure 6a/7a/8a comparison set in paper
-// order.
-var methodsSingleGPU = []modelcfg.Method{
-	modelcfg.Megatron, modelcfg.L2L, modelcfg.ZeROOffload,
-	modelcfg.ZeROInfinity, modelcfg.Stronghold,
-}
+// methodsSingleGPU is the Figure 6a comparison set in paper order —
+// the registry rows flagged SingleGPU.
+var methodsSingleGPU = modelcfg.SingleGPUMethods()
+
+// methodsOffload extends the paper set with the ported strategy-layer
+// methods (ZeRO-Infinity on NVMe, Deep Optimizer States' interleaved
+// placement) — the Figure 7a/8a comparison after the method registry,
+// in registry display order.
+var methodsOffload = func() []modelcfg.Method {
+	var out []modelcfg.Method
+	for _, info := range modelcfg.Methods() {
+		if info.SingleGPU || info.M == modelcfg.ZeROInfinityNVMe || info.M == modelcfg.InterleavedOpt {
+			out = append(out, info.M)
+		}
+	}
+	return out
+}()
 
 // searchSpace is the configuration family the capacity experiments
 // sweep, mirroring §V-B ("vary the hidden dimension … and the number of

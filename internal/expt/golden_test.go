@@ -1,0 +1,45 @@
+package expt
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden figure fixtures")
+
+// TestGoldenFigures pins the rendered Fig. 7a/8a and fault-comparison
+// tables — the outputs the strategy layer extends. The simulator is
+// deterministic, so any drift in method set, calibration or schedule
+// shows up as a byte diff. Regenerate with
+// `go test ./internal/expt -run TestGoldenFigures -update` and review
+// the diff like any result change.
+func TestGoldenFigures(t *testing.T) {
+	faultRows, err := FaultComparison()
+	if err != nil {
+		t.Fatalf("faultcmp: %v", err)
+	}
+	fixtures := map[string]string{
+		"fig7a":    RenderThroughputRows("Figure 7a: throughput at each method's largest model (V100)", Figure7a()),
+		"fig8a":    RenderRelRows("Figure 8a: throughput on the common 1.7B model (V100)", Figure8a()),
+		"faultcmp": RenderFaultRows(faultRows),
+	}
+	for name, got := range fixtures {
+		path := filepath.Join("testdata", name+".golden")
+		if *update {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing fixture (run with -update): %v", name, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: figure drifted from its golden fixture (run with -update and review)\nwant:\n%s\ngot:\n%s",
+				name, want, got)
+		}
+	}
+}

@@ -7,20 +7,17 @@ import (
 	"stronghold/internal/perf"
 )
 
-// runMethod dispatches one single-GPU training-iteration simulation:
-// STRONGHOLD variants go through the discrete-event engine, baselines
-// through their closed-form schedules.
+// runMethod dispatches one single-GPU training-iteration simulation
+// through the method registry: EngineCore rows go through the
+// discrete-event engine, everything else through the baseline engine
+// (which itself rejects the cluster-only rows).
 func runMethod(method modelcfg.Method, m perf.Model) perf.IterationResult {
-	switch method {
-	case modelcfg.Stronghold, modelcfg.StrongholdNVMe:
+	if info := modelcfg.Lookup(method); info != nil && info.Engine == modelcfg.EngineCore {
 		e := core.NewEngine(m)
-		if method == modelcfg.StrongholdNVMe {
-			e.Feat.UseNVMe = true
-		}
+		e.Feat.UseNVMe = info.NVMe
 		return e.Run(3, nil)
-	default:
-		return baselines.Run(method, m)
 	}
+	return baselines.Run(method, m)
 }
 
 // largestFor searches the §V-B family for the biggest model method can

@@ -21,12 +21,13 @@ type ThroughputRow struct {
 }
 
 // Figure7a measures throughput at each method's largest model on the
-// V100. The paper reports STRONGHOLD at 6–9 TFLOPS versus L2L 1.88,
-// ZeRO-Offload 0.59 and ZeRO-Infinity 0.53.
+// V100 — the paper set plus the ported strategy-layer methods. The
+// paper reports STRONGHOLD at 6–9 TFLOPS versus L2L 1.88, ZeRO-Offload
+// 0.59 and ZeRO-Infinity 0.53.
 func Figure7a() []ThroughputRow {
 	p := hw.V100Platform()
 	var rows []ThroughputRow
-	for _, m := range methodsSingleGPU {
+	for _, m := range methodsOffload {
 		cfg := largestConfigFor(m, 1, p.GPU.MemBytes, p.CPU.UsableMemBytes, p.NVMe.Bytes)
 		sps, tf, _ := throughputOf(m, cfg, p)
 		rows = append(rows, ThroughputRow{Method: m, ModelB: cfg.ParamsBillion(), SamplesPerSec: sps, TFLOPS: tf})
@@ -63,11 +64,12 @@ type RelThroughputRow struct {
 	RelMegatron   float64
 }
 
-// Figure8a measures every method on the common 1.7B model. Paper: L2L
-// 22.2% of Megatron, ZeRO-Offload/Infinity <57%, STRONGHOLD the only
-// one above Megatron.
+// Figure8a measures every method on the common 1.7B model — the paper
+// set plus the ported strategy-layer methods. Paper: L2L 22.2% of
+// Megatron, ZeRO-Offload/Infinity <57%, STRONGHOLD the only one above
+// Megatron.
 func Figure8a() []RelThroughputRow {
-	return relThroughput(methodsSingleGPU)
+	return relThroughput(methodsOffload)
 }
 
 // Figure1b is the motivation subset of Figure 8a.

@@ -29,29 +29,18 @@ const (
 	ZeRO2
 	// ZeRO3 additionally partitions parameters.
 	ZeRO3
+	// InterleavedOpt is Deep Optimizer States' subgroup-interleaved
+	// CPU/GPU optimizer placement: parameters stay resident like
+	// ZeRO-Offload, but each layer's optimizer update is split between
+	// the CPU pool and the GPU, with moment-chunk transfers overlapped
+	// against neighbouring subgroups' compute.
+	InterleavedOpt
 )
 
 // String returns the method's paper name.
 func (m Method) String() string {
-	switch m {
-	case Megatron:
-		return "Megatron-LM"
-	case L2L:
-		return "L2L"
-	case ZeROOffload:
-		return "ZeRO-Offload"
-	case ZeROInfinity:
-		return "ZeRO-Infinity"
-	case ZeROInfinityNVMe:
-		return "ZeRO-Infinity (NVMe)"
-	case Stronghold:
-		return "STRONGHOLD"
-	case StrongholdNVMe:
-		return "STRONGHOLD (NVMe)"
-	case ZeRO2:
-		return "ZeRO-2"
-	case ZeRO3:
-		return "ZeRO-3"
+	if info := Lookup(m); info != nil {
+		return info.Display
 	}
 	return fmt.Sprintf("Method(%d)", int(m))
 }
@@ -94,6 +83,12 @@ const (
 	// buffers ZeRO-Offload keeps on the GPU while streaming gradients
 	// to the CPU.
 	gradBufferLayers = 2
+
+	// interleavedStageBuffers is the number of per-layer moment-chunk
+	// staging buffers the interleaved optimizer keeps on the GPU: one
+	// subgroup updating while the next subgroup's moments are in
+	// flight (Deep Optimizer States' double-buffered interleave).
+	interleavedStageBuffers = 2
 )
 
 // MemoryFootprint is the per-device byte demand of one training setup.
@@ -120,49 +115,92 @@ func residentEmbeddingBytes(c Config) int64 {
 // given method. windowLayers is the GPU working-window size for
 // STRONGHOLD (ignored elsewhere); workers is the number of concurrent
 // multi-stream training workers (≥1; extra workers add activation and
-// gradient space but share one parameter copy, §IV-A).
+// gradient space but share one parameter copy, §IV-A). It dispatches
+// through the method registry (strategy.go); each method's memory
+// model is its MethodInfo.Footprint hook.
 func Footprint(m Method, c Config, windowLayers, workers int) MemoryFootprint {
+	info := Lookup(m)
+	if info == nil || info.Footprint == nil {
+		panic(fmt.Sprintf("modelcfg: unknown method %v", m))
+	}
 	if workers < 1 {
 		workers = 1
 	}
+	return info.Footprint(c, windowLayers, workers)
+}
+
+func footprintMegatron(c Config, _, _ int) MemoryFootprint {
 	shard := c.TotalParams() / int64(c.ModelParallel)
-	act := activationBytes(c)
-	var f MemoryFootprint
-	switch m {
-	case Megatron:
-		f.GPU = shard*BytesModelState + act + runtimeWorkspaceBytes
-	case L2L:
-		// One resident block (double-buffered) + full-model Adam
-		// moments on the GPU + full activations; parameters live on the
-		// host.
-		f.GPU = shard*l2lOptStateBytesPerParam +
+	return MemoryFootprint{GPU: shard*BytesModelState + activationBytes(c) + runtimeWorkspaceBytes}
+}
+
+// footprintL2L: one resident block (double-buffered) + full-model Adam
+// moments on the GPU + full activations; parameters live on the host.
+func footprintL2L(c Config, _, _ int) MemoryFootprint {
+	shard := c.TotalParams() / int64(c.ModelParallel)
+	return MemoryFootprint{
+		GPU: shard*l2lOptStateBytesPerParam +
 			2*c.LayerParamsShard()*(BytesParam+BytesGrad) +
-			act + runtimeWorkspaceBytes
-		f.Host = shard * BytesParam
-	case ZeROOffload:
-		// Parameters resident on GPU; gradients stream out through two
-		// staging buffers; grads + moments on the CPU.
-		f.GPU = shard*BytesParam +
+			activationBytes(c) + runtimeWorkspaceBytes,
+		Host: shard * BytesParam,
+	}
+}
+
+// footprintZeROOffload: parameters resident on GPU; gradients stream
+// out through two staging buffers; grads + moments on the CPU.
+func footprintZeROOffload(c Config, _, _ int) MemoryFootprint {
+	shard := c.TotalParams() / int64(c.ModelParallel)
+	return MemoryFootprint{
+		GPU: shard*BytesParam +
 			gradBufferLayers*c.LayerGradBytes() +
-			act + runtimeWorkspaceBytes
-		f.Host = shard * (BytesGrad + BytesOptState)
-	case ZeROInfinity, ZeROInfinityNVMe:
-		if m == ZeROInfinity {
-			f.GPU = int64(float64(shard)*zeroInfinityGPUBytesPerParam) +
-				act + runtimeWorkspaceBytes
-			f.Host = int64(float64(shard) * zeroInfinityHostBytesPerParam)
-		} else {
-			// NVMe mode streams fine-grained partitions straight from
-			// disk through a fixed fused-buffer budget, with activation
-			// checkpoints offloaded to the host — this is how it
-			// reaches half-trillion scale (slowly, Fig. 1b/10).
-			f.GPU = zeroInfinityNVMeBufferBytes +
-				c.WorkingActivationBytes() + runtimeWorkspaceBytes
-			f.Host = 4*zeroInfinityNVMeBufferBytes +
-				int64(c.Layers)*c.ActivationBytesPerLayer()
-			f.Disk = int64(float64(shard) * zeroInfinityHostBytesPerParam)
+			activationBytes(c) + runtimeWorkspaceBytes,
+		Host: shard * (BytesGrad + BytesOptState),
+	}
+}
+
+// footprintInterleavedOpt: same residency as ZeRO-Offload (params on
+// GPU, grads + optimizer states on CPU) plus two staging buffers for
+// the GPU-side share of each layer's Adam moments — the chunks the
+// interleaved schedule round-trips over PCIe while adjacent subgroups
+// update on the CPU.
+func footprintInterleavedOpt(c Config, _, _ int) MemoryFootprint {
+	shard := c.TotalParams() / int64(c.ModelParallel)
+	return MemoryFootprint{
+		GPU: shard*BytesParam +
+			gradBufferLayers*c.LayerGradBytes() +
+			interleavedStageBuffers*c.LayerParamsShard()*BytesOptState +
+			activationBytes(c) + runtimeWorkspaceBytes,
+		Host: shard * (BytesGrad + BytesOptState),
+	}
+}
+
+func footprintZeROInfinity(nvme bool) func(Config, int, int) MemoryFootprint {
+	return func(c Config, _, _ int) MemoryFootprint {
+		shard := c.TotalParams() / int64(c.ModelParallel)
+		if !nvme {
+			return MemoryFootprint{
+				GPU: int64(float64(shard)*zeroInfinityGPUBytesPerParam) +
+					activationBytes(c) + runtimeWorkspaceBytes,
+				Host: int64(float64(shard) * zeroInfinityHostBytesPerParam),
+			}
 		}
-	case Stronghold, StrongholdNVMe:
+		// NVMe mode streams fine-grained partitions straight from
+		// disk through a fixed fused-buffer budget, with activation
+		// checkpoints offloaded to the host — this is how it
+		// reaches half-trillion scale (slowly, Fig. 1b/10).
+		return MemoryFootprint{
+			GPU: zeroInfinityNVMeBufferBytes +
+				c.WorkingActivationBytes() + runtimeWorkspaceBytes,
+			Host: 4*zeroInfinityNVMeBufferBytes +
+				int64(c.Layers)*c.ActivationBytesPerLayer(),
+			Disk: int64(float64(shard) * zeroInfinityHostBytesPerParam),
+		}
+	}
+}
+
+func footprintStronghold(nvme bool) func(Config, int, int) MemoryFootprint {
+	return func(c Config, windowLayers, workers int) MemoryFootprint {
+		shard := c.TotalParams() / int64(c.ModelParallel)
 		if windowLayers < 1 {
 			windowLayers = 1
 		}
@@ -175,13 +213,14 @@ func Footprint(m Method, c Config, windowLayers, workers int) MemoryFootprint {
 		// checkpoints alone exceed device memory.
 		window := int64(windowLayers+1) * c.LayerParamsShard() * (BytesParam + BytesGrad)
 		windowAct := int64(windowLayers+1)*c.ActivationBytesPerLayer() + c.WorkingActivationBytes()
+		var f MemoryFootprint
 		f.GPU = window + residentEmbeddingBytes(c) +
 			int64(workers)*windowAct + runtimeWorkspaceBytes
 		if workers > 1 {
 			f.GPU += int64(workers-1) * int64(windowLayers) * c.LayerGradBytes()
 		}
 		hostAct := int64(c.Layers) * c.ActivationBytesPerLayer()
-		if m == Stronghold {
+		if !nvme {
 			f.Host = shard*strongholdHostBytesPerParam + hostAct
 		} else {
 			// NVMe tier: the host holds a pinned staging ring of a few
@@ -190,31 +229,31 @@ func Footprint(m Method, c Config, windowLayers, workers int) MemoryFootprint {
 			f.Host = ring + hostAct
 			f.Disk = shard * strongholdHostBytesPerParam
 		}
-	case ZeRO2, ZeRO3:
-		// ZeRO data parallelism: each GPU computes the full model
-		// (batch-partitioned), so activations and layer sizes are
-		// unsharded; ModelParallel is reused as the state-partition
-		// degree.
+		return f
+	}
+}
+
+// footprintZeRO: ZeRO data parallelism — each GPU computes the full
+// model (batch-partitioned), so activations and layer sizes are
+// unsharded; ModelParallel is reused as the state-partition degree.
+func footprintZeRO(stage3 bool) func(Config, int, int) MemoryFootprint {
+	return func(c Config, _, _ int) MemoryFootprint {
 		dp := int64(c.ModelParallel)
 		full := c
 		full.ModelParallel = 1
 		total := full.TotalParams()
 		fullAct := activationBytes(full)
-		if m == ZeRO2 {
+		if !stage3 {
 			// Full parameter replica; gradients + optimizer states
 			// partitioned.
-			f.GPU = total*BytesParam + total*(BytesGrad+BytesOptState)/dp +
-				fullAct + runtimeWorkspaceBytes
-		} else {
-			// Parameters partitioned too; two gathered working layers.
-			f.GPU = total*BytesModelState/dp +
-				2*full.LayerParams()*BytesParam +
-				fullAct + runtimeWorkspaceBytes
+			return MemoryFootprint{GPU: total*BytesParam + total*(BytesGrad+BytesOptState)/dp +
+				fullAct + runtimeWorkspaceBytes}
 		}
-	default:
-		panic(fmt.Sprintf("modelcfg: unknown method %v", m))
+		// Parameters partitioned too; two gathered working layers.
+		return MemoryFootprint{GPU: total*BytesModelState/dp +
+			2*full.LayerParams()*BytesParam +
+			fullAct + runtimeWorkspaceBytes}
 	}
-	return f
 }
 
 // Fits reports whether the footprint fits the given capacities.

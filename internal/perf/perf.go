@@ -147,6 +147,10 @@ type IterationResult struct {
 	// PlanOps is the length of the validated schedule IR one iteration
 	// executes (zero for engines that do not run on plans yet).
 	PlanOps uint64
+	// OptGPUFrac is the co-optimized GPU share of each offloaded
+	// layer's optimizer update (zero under the fixed all-CPU placement
+	// or when co-optimization is off).
+	OptGPUFrac float64
 	// Util holds end-of-run busy fractions per simulated resource. It is
 	// derived from counters the engine maintains unconditionally, so it
 	// is populated whether or not a metrics collector is installed.

@@ -47,6 +47,17 @@ type Spec struct {
 	// OptDurNS is one layer's CPU Adam duration (scaled per layer).
 	OptDurNS sim.Time
 
+	// OptGPUFrac, when in (0,1), splits each offloaded layer's
+	// optimizer update: the 1−g share runs on the CPU pool as before,
+	// the g share runs on the GPU against moment chunks round-tripped
+	// over PCIe (the co-optimized placement, solver Decision). The two
+	// halves join before publishing ExtOptDone. MomentBytes is the
+	// full-layer moment payload the g share is cut from; GPUOptFlops
+	// the kernel work of one full-layer GPU update.
+	OptGPUFrac  float64
+	MomentBytes int64
+	GPUOptFlops float64
+
 	// LayerScale, when non-nil (length = Layers), scales layer i's
 	// compute and transfer volume (heterogeneous models, §III-B).
 	LayerScale []float64
@@ -80,6 +91,11 @@ func Build(s Spec) (*Iteration, error) {
 	if s.LayerScale != nil && len(s.LayerScale) != s.Layers {
 		return nil, fmt.Errorf("plan: LayerScale has %d entries for %d layers", len(s.LayerScale), s.Layers)
 	}
+	if s.OptGPUFrac < 0 || s.OptGPUFrac >= 1 {
+		if s.OptGPUFrac != 0 {
+			return nil, fmt.Errorf("plan: OptGPUFrac %g outside (0,1)", s.OptGPUFrac)
+		}
+	}
 	n, m, k := s.Layers, s.Window, s.Queues
 	budget := s.BudgetSlots
 	if budget == 0 {
@@ -93,6 +109,11 @@ func Build(s Spec) (*Iteration, error) {
 		BudgetSlots: budget,
 		BudgetBytes: int64(budget) * s.BufBytes,
 		NVMe:        s.NVMe,
+	}
+	if s.OptGPUFrac > 0 {
+		// Two moment staging buffers: one layer's chunk updating on the
+		// GPU while the next layer's chunk is in flight.
+		it.OptSlots = 2
 	}
 	for i := 0; i < m && i < n; i++ {
 		it.EntryResident = append(it.EntryResident, i)
@@ -182,8 +203,9 @@ func Build(s Spec) (*Iteration, error) {
 	bpOffloadOp := make([]ID, n)
 	bpReleaseOp := make([]ID, n)
 	optOp := make([]ID, n)
+	momWBOp := make([]ID, n) // fractional placement: moment write-backs
 	for i := range bpPrefetchOp {
-		bpPrefetchOp[i], bpOffloadOp[i], bpReleaseOp[i], optOp[i] = -1, -1, -1, -1
+		bpPrefetchOp[i], bpOffloadOp[i], bpReleaseOp[i], optOp[i], momWBOp[i] = -1, -1, -1, -1, -1
 	}
 
 	for i := n - 1; i >= 0; i-- {
@@ -243,8 +265,32 @@ func Build(s Spec) (*Iteration, error) {
 			// issue sequence.
 			bpOffloadOp[i] = emit(Op{Kind: Offload, Name: fmt.Sprintf("bp offload L%d", i), Layer: i, Queue: -1,
 				Bytes: s.scaleBytes(i, s.StateBytes), Deps: deps(bpDoneOp[i]...)})
-			optOp[i] = emit(Op{Kind: OptStep, Name: fmt.Sprintf("adam L%d", i), Layer: i, Queue: -1,
-				DurNS: sim.Time(float64(s.OptDurNS) * s.scale(i)), Deps: deps(bpOffloadOp[i]), Export: ExtOptDone})
+			if g := s.OptGPUFrac; g > 0 {
+				// Split update (co-optimized placement): the 1−g share runs
+				// on the CPU pool, the g share round-trips its moment chunk
+				// over PCIe and updates on the GPU. The chunk's staging
+				// buffer recycles from the layer updated two steps earlier
+				// (OptSlots = 2), and both halves join before publishing
+				// ExtOptDone.
+				cpuOp := emit(Op{Kind: OptStep, Name: fmt.Sprintf("adam L%d cpu", i), Layer: i, Queue: -1, Frac: 1 - g,
+					DurNS: sim.Time(float64(s.OptDurNS) * s.scale(i) * (1 - g)), Deps: deps(bpOffloadOp[i])})
+				momBytes := int64(g * float64(s.scaleBytes(i, s.MomentBytes)))
+				fetchDeps := deps(bpOffloadOp[i])
+				if i+2 < n && momWBOp[i+2] >= 0 {
+					fetchDeps = append(fetchDeps, momWBOp[i+2])
+				}
+				fetch := emit(Op{Kind: Prefetch, Name: fmt.Sprintf("mom fetch L%d", i), Layer: i, Queue: -1,
+					Frac: g, Bytes: momBytes, Deps: fetchDeps})
+				gpuOp := emit(Op{Kind: OptStep, Name: fmt.Sprintf("adam L%d gpu", i), Layer: i, Queue: 0, GPU: true,
+					Frac: g, Flops: g * s.GPUOptFlops * s.scale(i), Deps: deps(fetch)})
+				momWBOp[i] = emit(Op{Kind: Offload, Name: fmt.Sprintf("mom writeback L%d", i), Layer: i, Queue: -1,
+					Frac: g, Bytes: momBytes, Deps: deps(gpuOp)})
+				optOp[i] = emit(Op{Kind: Join, Name: fmt.Sprintf("opt join L%d", i), Layer: i, Queue: -1,
+					Deps: deps(cpuOp, momWBOp[i]), Export: ExtOptDone})
+			} else {
+				optOp[i] = emit(Op{Kind: OptStep, Name: fmt.Sprintf("adam L%d", i), Layer: i, Queue: -1,
+					DurNS: sim.Time(float64(s.OptDurNS) * s.scale(i)), Deps: deps(bpOffloadOp[i]), Export: ExtOptDone})
+			}
 			if s.NVMe {
 				wr := emit(Op{Kind: NVMeStage, Name: fmt.Sprintf("nvme spill L%d", i), Layer: i, Queue: -1,
 					Write: true, Bytes: s.WeightBytes, Deps: deps(optOp[i])})

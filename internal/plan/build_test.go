@@ -44,12 +44,18 @@ func fixtureSpecs() map[string]Spec {
 	hetero := baseSpec()
 	hetero.LayerScale = []float64{1, 1.5, 0.5, 2, 1, 0.75}
 
+	coopt := baseSpec()
+	coopt.OptGPUFrac = 0.25
+	coopt.MomentBytes = 1 << 20
+	coopt.GPUOptFlops = 4e8
+
 	return map[string]Spec{
 		"default":     def,
 		"sync":        sync,
 		"multistream": multi,
 		"nvme":        nvme,
 		"hetero":      hetero,
+		"coopt":       coopt,
 	}
 }
 

@@ -19,6 +19,12 @@ func Text(it *Iteration) string {
 	if it.NVMe {
 		b.WriteString(" nvme")
 	}
+	if it.RingSlots > 0 {
+		fmt.Fprintf(&b, " ring=%d", it.RingSlots)
+	}
+	if it.OptSlots > 0 {
+		fmt.Fprintf(&b, " opt_slots=%d", it.OptSlots)
+	}
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "entry=%v exit=%v\n", it.EntryResident, it.ExitResident)
 	for i := range it.Ops {
@@ -71,6 +77,9 @@ func opLine(op *Op) string {
 	}
 	if op.GPU {
 		b.WriteString(" gpu")
+	}
+	if op.Frac != 0 {
+		fmt.Fprintf(&b, " frac=%g", op.Frac)
 	}
 	if len(op.Deps) > 0 {
 		fmt.Fprintf(&b, " deps=%v", op.Deps)

@@ -38,6 +38,11 @@ const (
 	// BufRelease returns a layer's device window buffers after its
 	// offload completes, recycling them for a later acquire.
 	BufRelease
+	// Join is a zero-duration synchronization point: it fires when all
+	// its dependencies have, letting one op (typically an Export) wait
+	// on several branches — e.g. the CPU and GPU halves of a split
+	// optimizer update both publishing one ExtOptDone.
+	Join
 )
 
 // String returns the lower-case kind mnemonic used by the text format.
@@ -59,6 +64,8 @@ func (k Kind) String() string {
 		return "buf-acquire"
 	case BufRelease:
 		return "buf-release"
+	case Join:
+		return "join"
 	}
 	return "invalid"
 }
@@ -136,6 +143,12 @@ type Op struct {
 	// GPU places an OptStep on the device queue instead of the CPU
 	// optimizer pool.
 	GPU bool `json:"gpu,omitempty"`
+	// Frac, when non-zero, marks a fractional optimizer-placement op:
+	// on an OptStep it is the share of the layer's optimizer update
+	// this op performs (a layer's fractional OptSteps must sum to 1);
+	// on a Prefetch/Offload it tags the op as a moment-chunk transfer
+	// holding one of the plan's OptSlots staging buffers.
+	Frac float64 `json:"frac,omitempty"`
 	// Deps are in-plan dependencies; every entry must be a smaller ID.
 	Deps []ID `json:"deps,omitempty"`
 	// Ext are cross-iteration dependencies the environment resolves.
@@ -169,6 +182,16 @@ type Iteration struct {
 	// storage (diffing uses it to carry staging dependencies into
 	// patches).
 	NVMe bool `json:"nvme,omitempty"`
+	// RingSlots, when non-zero, bounds the host staging ring: at most
+	// RingSlots layers may sit in the ring at once, each ring epoch
+	// opened by a restage (NVMeStage Write=false) and closed by a spill
+	// (NVMeStage Write=true). The validator proves the bound with the
+	// same funding argument as the window budget.
+	RingSlots int `json:"ring_slots,omitempty"`
+	// OptSlots, when non-zero, bounds the device staging buffers for
+	// fractional optimizer moment chunks: Frac-tagged Prefetches take a
+	// slot, Frac-tagged Offloads return it.
+	OptSlots int `json:"opt_slots,omitempty"`
 	// Ops in emission order — the canonical topological order.
 	Ops []Op `json:"ops"`
 }

@@ -19,7 +19,14 @@ import (
 //     the acquire that made the layer resident (entry-resident layers
 //     are exempt), through explicit edges or same-queue FIFO order;
 //  4. window ceiling: under every admissible event timing the number
-//     of layers holding device buffers stays within the slot budget.
+//     of layers holding device buffers stays within the slot budget;
+//  5. NVMe ring discipline (RingSlots > 0): restages open ring epochs,
+//     spills close them, prefetches only read staged layers, and the
+//     ring occupancy stays within RingSlots under every timing;
+//  6. fractional optimizer placement (Frac-tagged ops): each layer's
+//     fractional OptSteps partition the update (fractions sum to 1,
+//     no mixing with whole-layer steps), and Frac-tagged moment-chunk
+//     transfers stay within the OptSlots staging budget.
 //
 // A nil error means the executor cannot hit the engine's
 // buffer-invariant error on this plan. Violations are aggregated so a
@@ -32,6 +39,9 @@ func Validate(it *Iteration) error {
 		v.checkBuffers()
 		v.checkResidency()
 		v.checkBudget()
+		v.checkNVMeRing()
+		v.checkFrac()
+		v.checkOptSlots()
 	}
 	if len(v.errs) == 0 {
 		return nil
@@ -89,8 +99,24 @@ func (v *validator) checkStructure() {
 			if op.Layer < 0 || op.Layer >= it.Layers {
 				v.failf(op, "layer %d outside [0,%d)", op.Layer, it.Layers)
 			}
+		case Join:
+			// A join carries no work of its own; layer -1 (model-level)
+			// is legal, as is a layer tag for per-layer joins.
+			if op.Layer >= it.Layers {
+				v.failf(op, "layer %d outside [-1,%d)", op.Layer, it.Layers)
+			}
 		default:
 			v.failf(op, "invalid kind %d", op.Kind)
+		}
+		if op.Frac != 0 {
+			if op.Frac < 0 || op.Frac > 1 {
+				v.failf(op, "fraction %g outside (0,1]", op.Frac)
+			}
+			switch op.Kind {
+			case OptStep, Prefetch, Offload:
+			default:
+				v.failf(op, "fraction on a %s op (only opt-step and moment-chunk transfers carry fractions)", op.Kind)
+			}
 		}
 		for _, x := range op.Ext {
 			if x.Layer < 0 || x.Layer >= it.Layers {
@@ -155,15 +181,15 @@ func (v *validator) happensBefore(a, b ID) bool { return v.reach[b].has(a) }
 
 // firedBefore reports whether op a has provably completed by the time
 // op b issues. Beyond plain closure membership, a zero-duration
-// bookkeeping op (BufRelease/BufAcquire) fires synchronously with its
-// last dependency, so it has fired by b's issue whenever all its
+// bookkeeping op (BufRelease/BufAcquire/Join) fires synchronously with
+// its last dependency, so it has fired by b's issue whenever all its
 // dependencies are in b's closure.
 func (v *validator) firedBefore(a, b ID) bool {
 	if v.happensBefore(a, b) {
 		return true
 	}
 	op := &v.it.Ops[a]
-	if op.Kind != BufRelease && op.Kind != BufAcquire {
+	if op.Kind != BufRelease && op.Kind != BufAcquire && op.Kind != Join {
 		return false
 	}
 	if len(op.Deps) == 0 || len(op.Ext) > 0 {
@@ -309,5 +335,163 @@ func (v *validator) checkBudget() {
 		}
 		v.failf(op, "may exceed the %d-slot window budget: no spare slot left and no release provably completes before it",
 			it.BudgetSlots)
+	}
+}
+
+// checkNVMeRing proves the host staging-ring discipline when the plan
+// declares a bounded ring (RingSlots > 0). Restages (NVMeStage
+// Write=false) open ring epochs, spills (Write=true) close them; a
+// layer must not restage while staged or spill while unstaged, each
+// spill must causally follow the restage it closes, and every plain
+// prefetch must read a staged layer — through an ExtNVMeStaged
+// dependency or a causal edge from the restage that opened the current
+// epoch. Ring occupancy is bounded by the same funding argument as the
+// window budget: the ring starts with RingSlots spare slots and every
+// restage is funded by a spare or by a spill that provably fires
+// before it.
+func (v *validator) checkNVMeRing() {
+	it := v.it
+	if it.RingSlots == 0 {
+		return
+	}
+	stagedBy := make(map[int]ID) // layer → restage that opened the current ring epoch
+	spares := it.RingSlots
+	var spills []ID
+	consumed := make([]bool, len(it.Ops))
+	for i := range it.Ops {
+		op := &it.Ops[i]
+		switch op.Kind {
+		case NVMeStage:
+			if op.Write {
+				opener, staged := stagedBy[op.Layer]
+				if !staged {
+					v.failf(op, "spill of layer %d, which is not in the staging ring here", op.Layer)
+					continue
+				}
+				if !v.happensBefore(opener, op.ID) {
+					v.failf(op, "does not happen-after the restage (op %d) it closes", opener)
+				}
+				delete(stagedBy, op.Layer)
+				spills = append(spills, op.ID)
+			} else {
+				if opener, staged := stagedBy[op.Layer]; staged {
+					v.failf(op, "layer %d restaged while already in the ring (epoch opened by op %d)", op.Layer, opener)
+				}
+				stagedBy[op.Layer] = op.ID
+				funded := false
+				for _, s := range spills { // ascending ID: deterministic choice
+					if !consumed[s] && v.firedBefore(s, op.ID) {
+						consumed[s] = true
+						funded = true
+						break
+					}
+				}
+				if !funded {
+					if spares > 0 {
+						spares--
+					} else {
+						v.failf(op, "may exceed the %d-slot staging ring: no spare slot left and no spill provably completes before it",
+							it.RingSlots)
+					}
+				}
+			}
+		case Prefetch:
+			if op.Frac != 0 {
+				continue // moment-chunk transfer, not a ring read
+			}
+			staged := false
+			for _, x := range op.Ext {
+				if x.Kind == ExtNVMeStaged && x.Layer == op.Layer {
+					staged = true
+				}
+			}
+			if staged {
+				continue
+			}
+			opener, open := stagedBy[op.Layer]
+			if !open {
+				v.failf(op, "prefetches layer %d, which is not in the staging ring here", op.Layer)
+				continue
+			}
+			if !v.happensBefore(opener, op.ID) {
+				v.failf(op, "does not happen-after the restage (op %d) that staged layer %d", opener, op.Layer)
+			}
+		}
+	}
+}
+
+// checkFrac proves fractional optimizer placement is a partition: for
+// every layer that splits its update, the fractional OptSteps sum to 1
+// (within 1e-6), and no layer mixes fractional steps with whole-layer
+// ones — a mixed layer would apply part of its update twice.
+func (v *validator) checkFrac() {
+	it := v.it
+	sums := make(map[int]float64)
+	whole := make(map[int]ID)
+	for i := range it.Ops {
+		op := &it.Ops[i]
+		if op.Kind != OptStep {
+			continue
+		}
+		if op.Frac != 0 {
+			sums[op.Layer] += op.Frac
+		} else if _, seen := whole[op.Layer]; !seen {
+			whole[op.Layer] = op.ID
+		}
+	}
+	for l := -1; l < it.Layers; l++ {
+		sum, fractional := sums[l]
+		if !fractional {
+			continue
+		}
+		if w, mixed := whole[l]; mixed {
+			v.failf(&it.Ops[w], "whole-layer opt-step on layer %d, which also has fractional opt-steps", l)
+		}
+		if diff := sum - 1; diff > 1e-6 || diff < -1e-6 {
+			v.errs = append(v.errs, fmt.Sprintf("layer %d: fractional opt-steps sum to %g, want 1", l, sum))
+		}
+	}
+}
+
+// checkOptSlots bounds the device staging buffers for fractional
+// moment chunks (OptSlots > 0): a Frac-tagged Prefetch takes a slot, a
+// Frac-tagged Offload returns one, and every take must be funded by a
+// spare or by a return that provably fires before it — the same
+// funding argument as the window budget.
+func (v *validator) checkOptSlots() {
+	it := v.it
+	if it.OptSlots == 0 {
+		return
+	}
+	spares := it.OptSlots
+	var returns []ID
+	consumed := make([]bool, len(it.Ops))
+	for i := range it.Ops {
+		op := &it.Ops[i]
+		if op.Frac == 0 {
+			continue
+		}
+		switch op.Kind {
+		case Offload:
+			returns = append(returns, op.ID)
+		case Prefetch:
+			funded := false
+			for _, r := range returns { // ascending ID: deterministic choice
+				if !consumed[r] && v.firedBefore(r, op.ID) {
+					consumed[r] = true
+					funded = true
+					break
+				}
+			}
+			if funded {
+				continue
+			}
+			if spares > 0 {
+				spares--
+				continue
+			}
+			v.failf(op, "may exceed the %d-slot moment staging budget: no spare slot left and no chunk offload provably completes before it",
+				it.OptSlots)
+		}
 	}
 }

@@ -17,13 +17,15 @@ import (
 // Method selects a training system in the simulation API.
 type Method = modelcfg.Method
 
-// Re-exported method constants (§V-C's comparison set).
+// Re-exported method constants (§V-C's comparison set plus the ported
+// strategy-layer methods).
 const (
 	Megatron         = modelcfg.Megatron
 	L2L              = modelcfg.L2L
 	ZeROOffload      = modelcfg.ZeROOffload
 	ZeROInfinity     = modelcfg.ZeROInfinity
 	ZeROInfinityNVMe = modelcfg.ZeROInfinityNVMe
+	InterleavedOpt   = modelcfg.InterleavedOpt
 	Stronghold       = modelcfg.Stronghold
 	StrongholdNVMe   = modelcfg.StrongholdNVMe
 	ZeRO2            = modelcfg.ZeRO2
@@ -63,6 +65,12 @@ type SimConfig struct {
 	// Window is the STRONGHOLD working-window size; 0 solves it
 	// analytically (§III-D).
 	Window int
+	// CoOpt lets the solver co-optimize the window size together with a
+	// fractional GPU/CPU optimizer placement over the method's declared
+	// decision variables (STRONGHOLD methods only; the fixed all-CPU
+	// placement is kept wherever the split does not clearly win, and
+	// under fault plans).
+	CoOpt bool
 	// Streams is the multi-stream worker count; 0 = auto (§IV-A).
 	Streams int
 	// ModelParallel shards layers across GPUs (Table I's MP column).
@@ -75,12 +83,13 @@ type SimConfig struct {
 	// compute and transfer volume — heterogeneous models (§III-B).
 	LayerScale []float64
 	// Faults, when non-empty, injects a deterministic fault plan into
-	// the run (STRONGHOLD methods only) — e.g.
+	// the run (plan-driven methods only) — e.g.
 	// "seed=7;h2d:slow(at=0s,dur=1s,every=1s,factor=0.2)". See
-	// internal/fault for the plan grammar. The engine enters degraded
-	// mode: transfers stretch through fault windows, blackouts retry
-	// with backoff, and the working window re-solves from observed
-	// transfer drift.
+	// internal/fault for the plan grammar. STRONGHOLD methods enter
+	// degraded mode: transfers stretch through fault windows, blackouts
+	// retry with backoff, and the working window re-solves from observed
+	// transfer drift. Plan-driven baselines degrade their resources
+	// without a reissue path — the comparison point.
 	Faults string
 	// DisableAdapt freezes the working window at its initial size under
 	// faults — the ablation arm that isolates what the adaptive
@@ -131,10 +140,13 @@ type SimResult struct {
 	TFLOPS        float64
 	GPUPeakGB     float64
 	// Overlap is the fraction of CPU-GPU transfer time hidden under
-	// compute (STRONGHOLD runs with tracing only).
+	// compute (plan-driven methods only).
 	Overlap float64
-	OOM     bool
-	Detail  string
+	// OptGPUFrac is the co-optimized GPU share of each offloaded
+	// layer's optimizer update (zero unless CoOpt engaged the split).
+	OptGPUFrac float64
+	OOM        bool
+	Detail     string
 	// Degraded-mode counters, all zero without a fault plan.
 	Retries        uint64 // transfer reissues after blackout windows
 	DeadlineMisses uint64 // transfers past DeadlineFactor× their nominal time
@@ -148,20 +160,25 @@ func Simulate(c SimConfig) (SimResult, error) {
 	if err != nil {
 		return SimResult{}, err
 	}
-	if c.Faults != "" && c.Method != Stronghold && c.Method != StrongholdNVMe {
-		return SimResult{}, fmt.Errorf("stronghold: fault injection requires a STRONGHOLD method, got %v", c.Method)
+	info := modelcfg.Lookup(c.Method)
+	if info == nil {
+		return SimResult{}, fmt.Errorf("stronghold: unknown method %v", c.Method)
+	}
+	if c.Faults != "" && !info.PlanDriven {
+		return SimResult{}, fmt.Errorf("stronghold: fault injection requires a plan-driven method, got %v", c.Method)
 	}
 	m := perf.NewModel(cfg, plat)
 	var r perf.IterationResult
 	var tr *trace.Trace
-	switch c.Method {
-	case Stronghold, StrongholdNVMe:
+	switch info.Engine {
+	case modelcfg.EngineCore:
 		e := core.NewEngine(m)
 		e.Window = c.Window
 		if c.Streams > 0 {
 			e.Feat.Streams = c.Streams
 		}
-		e.Feat.UseNVMe = c.Method == StrongholdNVMe
+		e.Feat.UseNVMe = info.NVMe
+		e.CoOpt = c.CoOpt
 		e.TransferJitter = c.TransferJitter
 		e.LayerScale = c.LayerScale
 		e.Workers = c.Workers
@@ -175,10 +192,18 @@ func Simulate(c SimConfig) (SimResult, error) {
 		}
 		tr = trace.New()
 		r = e.Run(3, tr)
-	case ZeRO2, ZeRO3:
+	case modelcfg.EngineCluster:
 		r = cluster.Run(cluster.Setup{Plat: plat, Cfg: cfg, Method: c.Method, HeteroCollectives: true})
 	default:
-		r = baselines.Run(c.Method, m)
+		var opts baselines.Options
+		if c.Faults != "" {
+			plan, err := fault.ParsePlan(c.Faults)
+			if err != nil {
+				return SimResult{}, fmt.Errorf("stronghold: fault plan: %w", err)
+			}
+			opts.Faults = plan
+		}
+		r = baselines.RunWith(c.Method, m, opts)
 	}
 	out := SimResult{
 		Method:        c.Method,
@@ -192,6 +217,7 @@ func Simulate(c SimConfig) (SimResult, error) {
 		out.TFLOPS = r.TFLOPS(m.TotalFlops())
 		out.GPUPeakGB = float64(r.GPUPeak) / float64(hw.GB)
 		out.Overlap = r.Overlap
+		out.OptGPUFrac = r.OptGPUFrac
 		out.Retries = r.Retries
 		out.DeadlineMisses = r.DeadlineMisses
 		out.WindowResolves = r.WindowResolves

@@ -60,7 +60,8 @@ func TestSimulateFaults(t *testing.T) {
 }
 
 // TestSimulateFaultsValidation pins the API contract: malformed plans
-// and non-STRONGHOLD methods are rejected before any simulation runs.
+// and closed-form methods are rejected before any simulation runs,
+// while plan-driven baselines accept fault plans and degrade.
 func TestSimulateFaultsValidation(t *testing.T) {
 	_, err := Simulate(SimConfig{
 		SizeBillions: 1.7, Platform: V100, Method: Stronghold,
@@ -74,7 +75,27 @@ func TestSimulateFaultsValidation(t *testing.T) {
 		SizeBillions: 1.7, Platform: V100, Method: Megatron,
 		Faults: "h2d:stall(at=0s,dur=1ms,every=1s)",
 	})
-	if err == nil || !strings.Contains(err.Error(), "STRONGHOLD method") {
-		t.Errorf("baseline method with faults not rejected: %v", err)
+	if err == nil || !strings.Contains(err.Error(), "plan-driven method") {
+		t.Errorf("closed-form method with faults not rejected: %v", err)
+	}
+}
+
+// TestSimulateBaselineFaults: the relaxed gate — a plan-driven baseline
+// runs under the same fault-plan grammar and comes back slower.
+func TestSimulateBaselineFaults(t *testing.T) {
+	base := SimConfig{SizeBillions: 1.7, Platform: V100, Method: ZeROOffload}
+	clean, err := Simulate(base)
+	if err != nil || clean.OOM {
+		t.Fatalf("clean run: %v %s", err, clean.Detail)
+	}
+	hurt := base
+	hurt.Faults = "h2d:slow(at=0s,dur=30s,every=60s,count=20,factor=0.25)"
+	degraded, err := Simulate(hurt)
+	if err != nil || degraded.OOM {
+		t.Fatalf("faulted run: %v %s", err, degraded.Detail)
+	}
+	if degraded.IterSeconds <= clean.IterSeconds {
+		t.Errorf("slow H2D did not lengthen the baseline iteration (%.3fs vs %.3fs)",
+			degraded.IterSeconds, clean.IterSeconds)
 	}
 }
