@@ -60,21 +60,50 @@ func TestCompareThresholdMath(t *testing.T) {
 }
 
 // TestCompareErrors covers the error exits: wrong arity, missing file,
-// wrong schema.
+// wrong schema — each with exit 1 AND a message that tells the user
+// what to do, not just what failed.
 func TestCompareErrors(t *testing.T) {
 	var out bytes.Buffer
 	if code := run([]string{"-compare", "testdata/old.json"}, &out, &out); code != 1 {
 		t.Errorf("one-file compare: exit %d, want 1", code)
 	}
+
+	out.Reset()
 	if code := run([]string{"-compare", "testdata/old.json", "testdata/missing.json"}, &out, &out); code != 1 {
 		t.Errorf("missing file: exit %d, want 1", code)
 	}
+	for _, want := range []string{"testdata/missing.json", "does not exist", "stronghold-bench -rev"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing-file message lacks %q: %s", want, out.String())
+		}
+	}
+
+	out.Reset()
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	if err := os.WriteFile(bad, []byte(`{"schema":"other/v9","rev":"x","scenarios":{}}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if code := run([]string{"-compare", bad, "testdata/new.json"}, &out, &out); code != 1 {
 		t.Errorf("schema mismatch: exit %d, want 1", code)
+	}
+	for _, want := range []string{"schema mismatch", `"other/v9"`, `"stronghold-bench/v1"`, "regenerate"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("schema-mismatch message lacks %q: %s", want, out.String())
+		}
+	}
+
+	// Malformed JSON is neither missing nor mismatched — it still must
+	// exit 1 with the offending path.
+	out.Reset()
+	garbled := filepath.Join(t.TempDir(), "garbled.json")
+	if err := os.WriteFile(garbled, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-compare", garbled, "testdata/new.json"}, &out, &out); code != 1 {
+		t.Errorf("garbled file: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "not a stronghold-bench document") {
+		t.Errorf("garbled-file message unclear: %s", out.String())
 	}
 }
 

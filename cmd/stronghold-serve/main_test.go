@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe capture buffer: run() writes from the
+// test goroutine, while the test polls for the listen line.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestServeAndDrain drives a full lifecycle: boot on an ephemeral
+// port, answer one real request, shut down cleanly via the stop
+// channel.
+func TestServeAndDrain(t *testing.T) {
+	var stdout, stderr syncBuffer
+	stop := make(chan struct{})
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{"-addr", "127.0.0.1:0", "-cache", "4", "-pool", "2"}, &stdout, &stderr, stop)
+	}()
+
+	// Wait for the listen line and extract the bound address.
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; stderr: %s", stderr.String())
+		}
+		out := stdout.String()
+		if i := strings.Index(out, "listening on "); i >= 0 {
+			if j := strings.IndexByte(out[i:], '\n'); j >= 0 {
+				addr = strings.TrimSpace(out[i+len("listening on ") : i+j])
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get("http://" + addr + "/v1/methods")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"stronghold"`) {
+		t.Fatalf("methods: status %d, body %s", resp.StatusCode, body)
+	}
+
+	close(stop)
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit %d; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run() did not return after stop")
+	}
+	if !strings.Contains(stdout.String(), "drained") {
+		t.Errorf("no drain confirmation in stdout: %s", stdout.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &out, nil); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"positional"}, &out, &out, nil); code != 2 {
+		t.Errorf("positional arg: exit %d, want 2", code)
+	}
+}
+
+func TestBadListenAddress(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-addr", "256.256.256.256:99999"}, &out, &out, nil); code != 1 {
+		t.Errorf("bad address: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "stronghold-serve:") {
+		t.Errorf("no error message: %s", out.String())
+	}
+}

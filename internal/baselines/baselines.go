@@ -19,6 +19,7 @@ package baselines
 import (
 	"fmt"
 
+	"stronghold/internal/fault"
 	"stronghold/internal/modelcfg"
 	"stronghold/internal/perf"
 	"stronghold/internal/sim"
@@ -31,6 +32,16 @@ import (
 // (ZeRO-2/3 are distributed-only; see the cluster package.)
 func Run(method modelcfg.Method, m perf.Model) perf.IterationResult {
 	return RunWith(method, m, Options{})
+}
+
+// Degradation runs one baseline method twice — clean, then under the
+// fault plan — and returns both iteration results. It is the shared
+// what-if primitive behind the faultcmp experiment and the
+// capacity-planning server's /v1/whatif endpoint: the same schedule
+// degraded through the same injected windows, so the pair is directly
+// comparable.
+func Degradation(method modelcfg.Method, m perf.Model, plan *fault.Plan) (clean, degraded perf.IterationResult) {
+	return Run(method, m), RunWith(method, m, Options{Faults: plan})
 }
 
 // RunWith is Run with tracing and fault injection. Plan-driven methods

@@ -180,14 +180,17 @@ func Suite() []Case {
 func Load(path string) (*Doc, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("benchmark file %s does not exist — generate it with: stronghold-bench -rev <rev> -out %s", path, path)
+		}
 		return nil, err
 	}
 	var d Doc
 	if err := json.Unmarshal(data, &d); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s is not a stronghold-bench document: %w", path, err)
 	}
 	if d.Schema != Schema {
-		return nil, fmt.Errorf("%s: schema %q, want %q", path, d.Schema, Schema)
+		return nil, fmt.Errorf("%s: schema mismatch: file says %q, this build expects %q — regenerate it with this stronghold-bench build", path, d.Schema, Schema)
 	}
 	return &d, nil
 }

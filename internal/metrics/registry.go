@@ -108,6 +108,24 @@ func CanonicalLabel(key, value string) string {
 	return key + `="` + escapeLabelValue(value) + `"`
 }
 
+// Value looks up one counter/gauge series by family name and canonical
+// label string ("" for unlabeled). It is the assertion surface for
+// server-side counters: tests and clients read a scraped or
+// snapshotted Registry without re-parsing exposition text by hand.
+func (r *Registry) Value(family, label string) (float64, bool) {
+	for _, f := range r.Families {
+		if f.Name != family {
+			continue
+		}
+		for _, s := range f.Series {
+			if s.Label == label && s.Hist == nil {
+				return s.Value, true
+			}
+		}
+	}
+	return 0, false
+}
+
 // sortRegistry puts families and series into canonical order.
 func (r *Registry) sort() {
 	sort.Slice(r.Families, func(i, j int) bool { return r.Families[i].Name < r.Families[j].Name })

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"sync"
+
+	"stronghold/internal/maputil"
+)
+
+// ServeStats is the capacity-planning server's counter set
+// (cmd/stronghold-serve). Unlike Collector — which observes the
+// virtual clock inside one deterministic simulation — ServeStats
+// counts wall-domain server events: requests, cache traffic,
+// admission rejections. It is safe for concurrent use by the
+// handler goroutines, and snapshots into the same canonical Registry
+// the Collector uses, so /metrics serves the exposition format this
+// package already pins byte for byte.
+type ServeStats struct {
+	mu          sync.Mutex
+	requests    map[string]float64 // endpoint path → count
+	responses   map[string]float64 // HTTP status code → count
+	cacheHits   float64
+	cacheMisses float64
+	shared      float64 // single-flight followers served a leader's result
+	rejected    float64 // admission-control 429s
+	simulations float64 // backend runs actually executed
+	inflight    float64 // gauge: requests currently inside a handler
+	cacheSize   float64 // gauge: live result-cache entries
+}
+
+// NewServeStats returns an empty counter set.
+func NewServeStats() *ServeStats {
+	return &ServeStats{
+		requests:  make(map[string]float64),
+		responses: make(map[string]float64),
+	}
+}
+
+// Request counts one received request against its endpoint path.
+func (s *ServeStats) Request(endpoint string) {
+	s.mu.Lock()
+	s.requests[endpoint]++
+	s.mu.Unlock()
+}
+
+// Response counts one response by HTTP status code.
+func (s *ServeStats) Response(code string) {
+	s.mu.Lock()
+	s.responses[code]++
+	s.mu.Unlock()
+}
+
+// CacheHit counts a request served byte-identically from the result
+// cache, with no simulation run.
+func (s *ServeStats) CacheHit() { s.bump(&s.cacheHits) }
+
+// CacheMiss counts a request whose result had to be computed.
+func (s *ServeStats) CacheMiss() { s.bump(&s.cacheMisses) }
+
+// SingleFlightShared counts a request that joined an identical
+// in-flight computation instead of starting its own.
+func (s *ServeStats) SingleFlightShared() { s.bump(&s.shared) }
+
+// Rejected counts an admission-control rejection (429).
+func (s *ServeStats) Rejected() { s.bump(&s.rejected) }
+
+// SimulationRun counts one backend computation actually executed.
+func (s *ServeStats) SimulationRun() { s.bump(&s.simulations) }
+
+// InflightAdd moves the in-flight gauge by delta (+1 on handler
+// entry, -1 on exit).
+func (s *ServeStats) InflightAdd(delta int) {
+	s.mu.Lock()
+	s.inflight += float64(delta)
+	s.mu.Unlock()
+}
+
+// SetCacheEntries records the live result-cache size.
+func (s *ServeStats) SetCacheEntries(n int) {
+	s.mu.Lock()
+	s.cacheSize = float64(n)
+	s.mu.Unlock()
+}
+
+func (s *ServeStats) bump(f *float64) {
+	s.mu.Lock()
+	*f++
+	s.mu.Unlock()
+}
+
+// serveFamilies is the /metrics family catalog, in the fixed order
+// the snapshot emits (Registry sorts by name anyway; the table just
+// keeps name/help/kind together).
+var serveFamilies = []struct {
+	name string
+	help string
+	kind Kind
+}{
+	{"stronghold_serve_cache_entries", "live entries in the result cache", KindGauge},
+	{"stronghold_serve_cache_hits_total", "requests served byte-identically from the result cache", KindCounter},
+	{"stronghold_serve_cache_misses_total", "requests whose result had to be computed", KindCounter},
+	{"stronghold_serve_inflight", "requests currently inside a handler", KindGauge},
+	{"stronghold_serve_rejected_total", "requests rejected by admission control (429)", KindCounter},
+	{"stronghold_serve_requests_total", "requests received, by endpoint", KindCounter},
+	{"stronghold_serve_responses_total", "responses sent, by HTTP status code", KindCounter},
+	{"stronghold_serve_simulations_total", "backend computations actually executed", KindCounter},
+	{"stronghold_serve_singleflight_shared_total", "requests that joined an identical in-flight computation", KindCounter},
+}
+
+// Snapshot renders the counter set as a canonical Registry. Families
+// with no observations are still emitted at zero, so the exposition's
+// shape is stable from the first scrape.
+func (s *ServeStats) Snapshot() *Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	scalar := map[string]float64{
+		"stronghold_serve_cache_entries":             s.cacheSize,
+		"stronghold_serve_cache_hits_total":          s.cacheHits,
+		"stronghold_serve_cache_misses_total":        s.cacheMisses,
+		"stronghold_serve_inflight":                  s.inflight,
+		"stronghold_serve_rejected_total":            s.rejected,
+		"stronghold_serve_simulations_total":         s.simulations,
+		"stronghold_serve_singleflight_shared_total": s.shared,
+	}
+	reg := &Registry{}
+	for _, fm := range serveFamilies {
+		f := &Family{Name: fm.name, Help: fm.help, Kind: fm.kind}
+		switch fm.name {
+		case "stronghold_serve_requests_total":
+			f.Series = labeledSeries("endpoint", s.requests)
+		case "stronghold_serve_responses_total":
+			f.Series = labeledSeries("code", s.responses)
+		default:
+			f.Series = []Series{{Value: scalar[fm.name]}}
+		}
+		reg.Families = append(reg.Families, f)
+	}
+	reg.sort()
+	return reg
+}
+
+// labeledSeries renders a label→count map as canonical series (sorted
+// by rendered label; empty map yields no series, keeping the family's
+// TYPE line only).
+func labeledSeries(key string, m map[string]float64) []Series {
+	out := make([]Series, 0, len(m))
+	for _, v := range maputil.SortedKeys(m) {
+		out = append(out, Series{Label: CanonicalLabel(key, v), Value: m[v]})
+	}
+	return out
+}

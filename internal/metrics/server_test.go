@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestServeStatsSnapshot drives every counter once and checks the
+// snapshot's values, the zero-family shape, and that the exposition
+// round-trips through the parser (the same fixed point the Collector
+// export is held to).
+func TestServeStatsSnapshot(t *testing.T) {
+	s := NewServeStats()
+	s.Request("/v1/solve")
+	s.Request("/v1/solve")
+	s.Request("/metrics")
+	s.Response("200")
+	s.Response("200")
+	s.Response("429")
+	s.CacheHit()
+	s.CacheMiss()
+	s.SingleFlightShared()
+	s.Rejected()
+	s.SimulationRun()
+	s.InflightAdd(1)
+	s.SetCacheEntries(3)
+
+	reg := s.Snapshot()
+	if err := reg.Validate(); err != nil {
+		t.Fatalf("snapshot registry invalid: %v", err)
+	}
+	for _, tc := range []struct {
+		family, label string
+		want          float64
+	}{
+		{"stronghold_serve_requests_total", CanonicalLabel("endpoint", "/v1/solve"), 2},
+		{"stronghold_serve_requests_total", CanonicalLabel("endpoint", "/metrics"), 1},
+		{"stronghold_serve_responses_total", CanonicalLabel("code", "200"), 2},
+		{"stronghold_serve_responses_total", CanonicalLabel("code", "429"), 1},
+		{"stronghold_serve_cache_hits_total", "", 1},
+		{"stronghold_serve_cache_misses_total", "", 1},
+		{"stronghold_serve_singleflight_shared_total", "", 1},
+		{"stronghold_serve_rejected_total", "", 1},
+		{"stronghold_serve_simulations_total", "", 1},
+		{"stronghold_serve_inflight", "", 1},
+		{"stronghold_serve_cache_entries", "", 3},
+	} {
+		got, ok := reg.Value(tc.family, tc.label)
+		if !ok || got != tc.want {
+			t.Errorf("%s{%s} = %v, %v; want %v", tc.family, tc.label, got, ok, tc.want)
+		}
+	}
+	s.InflightAdd(-1)
+	if got, _ := s.Snapshot().Value("stronghold_serve_inflight", ""); got != 0 {
+		t.Errorf("inflight after -1 = %v, want 0", got)
+	}
+
+	var text bytes.Buffer
+	if err := reg.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseExposition(text.Bytes())
+	if err != nil {
+		t.Fatalf("serve exposition does not re-parse: %v\n%s", err, text.Bytes())
+	}
+	var second bytes.Buffer
+	if err := back.WriteText(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(text.Bytes(), second.Bytes()) {
+		t.Fatalf("serve exposition is not a parse fixed point:\n--- first ---\n%s--- second ---\n%s", text.Bytes(), second.Bytes())
+	}
+	if !strings.Contains(text.String(), "# HELP stronghold_serve_cache_hits_total") {
+		t.Errorf("help text missing from exposition:\n%s", text.String())
+	}
+}
+
+// TestServeStatsZeroShape pins that a fresh counter set still exposes
+// every family (at zero), so scrape targets see a stable schema from
+// the first request.
+func TestServeStatsZeroShape(t *testing.T) {
+	reg := NewServeStats().Snapshot()
+	if got, want := len(reg.Families), len(serveFamilies); got != want {
+		t.Fatalf("fresh snapshot has %d families, want %d", got, want)
+	}
+	for _, fm := range serveFamilies {
+		switch fm.name {
+		case "stronghold_serve_requests_total", "stronghold_serve_responses_total":
+			continue // labeled families start empty
+		}
+		if v, ok := reg.Value(fm.name, ""); !ok || v != 0 {
+			t.Errorf("%s = %v, %v; want 0, true", fm.name, v, ok)
+		}
+	}
+}
+
+// TestServeStatsConcurrent hammers every counter from racing
+// goroutines; totals must come out exact (run under -race in CI).
+func TestServeStatsConcurrent(t *testing.T) {
+	s := NewServeStats()
+	const goroutines, per = 8, 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Request("/v1/solve")
+				s.Response("200")
+				s.CacheHit()
+				s.CacheMiss()
+				s.SingleFlightShared()
+				s.Rejected()
+				s.SimulationRun()
+				s.InflightAdd(1)
+				s.InflightAdd(-1)
+				s.SetCacheEntries(i)
+			}
+		}()
+	}
+	wg.Wait()
+	reg := s.Snapshot()
+	want := float64(goroutines * per)
+	for _, tc := range []struct {
+		family, label string
+	}{
+		{"stronghold_serve_requests_total", CanonicalLabel("endpoint", "/v1/solve")},
+		{"stronghold_serve_responses_total", CanonicalLabel("code", "200")},
+		{"stronghold_serve_cache_hits_total", ""},
+		{"stronghold_serve_cache_misses_total", ""},
+		{"stronghold_serve_singleflight_shared_total", ""},
+		{"stronghold_serve_rejected_total", ""},
+		{"stronghold_serve_simulations_total", ""},
+	} {
+		if got, _ := reg.Value(tc.family, tc.label); got != want {
+			t.Errorf("%s{%s} = %v, want %v", tc.family, tc.label, got, want)
+		}
+	}
+	if got, _ := reg.Value("stronghold_serve_inflight", ""); got != 0 {
+		t.Errorf("inflight = %v, want 0", got)
+	}
+}
+
+// TestRegistryValueMisses covers the lookup's negative paths: unknown
+// family, unknown label, and histogram series (which Value skips).
+func TestRegistryValueMisses(t *testing.T) {
+	reg := &Registry{Families: []*Family{
+		{Name: "h", Kind: KindHistogram, Series: []Series{{Hist: &HistData{Count: 1}}}},
+		{Name: "c", Kind: KindCounter, Series: []Series{{Value: 2}}},
+	}}
+	if _, ok := reg.Value("nope", ""); ok {
+		t.Error("unknown family resolved")
+	}
+	if _, ok := reg.Value("c", `x="1"`); ok {
+		t.Error("unknown label resolved")
+	}
+	if _, ok := reg.Value("h", ""); ok {
+		t.Error("histogram series resolved as scalar")
+	}
+	if v, ok := reg.Value("c", ""); !ok || v != 2 {
+		t.Errorf("c = %v, %v; want 2, true", v, ok)
+	}
+}

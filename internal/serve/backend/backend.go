@@ -1,0 +1,186 @@
+// Package backend implements serve.Backend on top of the root
+// stronghold simulation API. It is the only serve-side package that
+// reaches the simulator, and it does so exclusively through the root
+// package's plain-data request/result types — the engine, its event
+// loop and its hardware models stay encapsulated, and the HTTP layer
+// stays outside the simulator's determinism scope.
+package backend
+
+import (
+	"fmt"
+
+	"stronghold"
+	"stronghold/internal/modelcfg"
+	"stronghold/internal/serve"
+)
+
+// Sim answers capacity-planning queries by running the deterministic
+// simulator. The zero value is ready to use.
+type Sim struct{}
+
+var _ serve.Backend = Sim{}
+
+// platform maps a canonical platform key (already validated by the
+// request canonicalizer) to the simulation API's enum.
+func platform(key string) (stronghold.Platform, error) {
+	switch key {
+	case "v100":
+		return stronghold.V100, nil
+	case "a10-cluster":
+		return stronghold.A10Cluster, nil
+	}
+	return 0, fmt.Errorf("backend: unknown platform %q", key)
+}
+
+// method resolves a canonical method key through the registry.
+func method(key string) (stronghold.Method, error) {
+	return modelcfg.ParseMethod(key)
+}
+
+// Solve runs warm-up profiling plus the §III-D analytical model for
+// the requested configuration.
+func (Sim) Solve(req serve.SolveRequest) (serve.SolveResponse, error) {
+	plat, err := platform(req.Platform)
+	if err != nil {
+		return serve.SolveResponse{}, err
+	}
+	m, err := method(req.Method)
+	if err != nil {
+		return serve.SolveResponse{}, err
+	}
+	cfg, err := req.Model.Resolve()
+	if err != nil {
+		return serve.SolveResponse{}, err
+	}
+	plan, err := stronghold.PlanWindow(stronghold.SimConfig{
+		SizeBillions:  req.Model.SizeBillions,
+		Layers:        req.Model.Layers,
+		Hidden:        req.Model.Hidden,
+		BatchSize:     req.Model.BatchSize,
+		ModelParallel: req.Model.ModelParallel,
+		Platform:      plat,
+		Method:        m,
+		CoOpt:         req.CoOpt,
+	})
+	if err != nil {
+		return serve.SolveResponse{}, err
+	}
+	return serve.SolveResponse{
+		Request:       req,
+		ModelBillions: cfg.ParamsBillion(),
+		Window: serve.WindowReport{
+			M:             plan.Window,
+			MForward:      plan.MForward,
+			MBackward:     plan.MBackward,
+			MOptimizer:    plan.MOptimizer,
+			MemoryBound:   plan.MemoryBound,
+			AsyncFeasible: plan.AsyncFeasible,
+			Streams:       plan.Streams,
+		},
+		OptGPUFrac: plan.OptGPUFrac,
+	}, nil
+}
+
+// Capacity tabulates the largest trainable model per method — the
+// Figure 6 sweep as an API call. An empty method list means every
+// single-node method in registry order, matching the request
+// canonicalizer's contract.
+func (Sim) Capacity(req serve.CapacityRequest) (serve.CapacityResponse, error) {
+	plat, err := platform(req.Platform)
+	if err != nil {
+		return serve.CapacityResponse{}, err
+	}
+	keys := req.Methods
+	if len(keys) == 0 {
+		for _, sum := range modelcfg.MethodSummaries() {
+			if !sum.Distributed {
+				keys = append(keys, sum.Key)
+			}
+		}
+	}
+	resp := serve.CapacityResponse{Request: req, Platform: req.Platform}
+	for _, key := range keys {
+		m, err := method(key)
+		if err != nil {
+			return serve.CapacityResponse{}, err
+		}
+		max, err := stronghold.MaxTrainableBillions(m, plat)
+		if err != nil {
+			return serve.CapacityResponse{}, err
+		}
+		resp.Rows = append(resp.Rows, serve.CapacityRow{
+			Method:      key,
+			Display:     modelcfg.Lookup(m).Display,
+			MaxBillions: max,
+		})
+	}
+	return resp, nil
+}
+
+// WhatIf runs the requested configuration twice — clean and under the
+// fault plan — and reports both with the headline retention number.
+func (Sim) WhatIf(req serve.WhatIfRequest) (serve.WhatIfResponse, error) {
+	plat, err := platform(req.Platform)
+	if err != nil {
+		return serve.WhatIfResponse{}, err
+	}
+	m, err := method(req.Method)
+	if err != nil {
+		return serve.WhatIfResponse{}, err
+	}
+	base := stronghold.SimConfig{
+		SizeBillions:  req.Model.SizeBillions,
+		Layers:        req.Model.Layers,
+		Hidden:        req.Model.Hidden,
+		BatchSize:     req.Model.BatchSize,
+		ModelParallel: req.Model.ModelParallel,
+		Platform:      plat,
+		Method:        m,
+		Window:        req.Window,
+	}
+	clean, err := stronghold.Simulate(base)
+	if err != nil {
+		return serve.WhatIfResponse{}, err
+	}
+	faulted := base
+	faulted.Faults = req.Faults
+	faulted.DisableAdapt = req.DisableAdapt
+	degraded, err := stronghold.Simulate(faulted)
+	if err != nil {
+		return serve.WhatIfResponse{}, err
+	}
+	if clean.OOM || degraded.OOM {
+		return serve.WhatIfResponse{}, fmt.Errorf(
+			"configuration does not fit: %s", oomDetail(clean, degraded))
+	}
+	resp := serve.WhatIfResponse{
+		Request:       req,
+		ModelBillions: clean.ModelBillions,
+		Clean:         runReport(clean),
+		Degraded:      runReport(degraded),
+	}
+	if clean.SamplesPerSec > 0 {
+		resp.RetentionPc = 100 * degraded.SamplesPerSec / clean.SamplesPerSec
+	}
+	return resp, nil
+}
+
+func oomDetail(clean, degraded stronghold.SimResult) string {
+	if clean.OOM {
+		return clean.Detail
+	}
+	return degraded.Detail
+}
+
+func runReport(r stronghold.SimResult) serve.RunReport {
+	return serve.RunReport{
+		IterSeconds:    r.IterSeconds,
+		SamplesPerSec:  r.SamplesPerSec,
+		TFLOPS:         r.TFLOPS,
+		Overlap:        r.Overlap,
+		Retries:        r.Retries,
+		DeadlineMisses: r.DeadlineMisses,
+		WindowResolves: r.WindowResolves,
+		FinalWindow:    r.FinalWindow,
+	}
+}

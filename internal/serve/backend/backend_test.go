@@ -1,0 +1,148 @@
+package backend
+
+import (
+	"strings"
+	"testing"
+
+	"stronghold/internal/serve"
+)
+
+// canonical runs a request through the serve-side canonicalizer so the
+// backend sees exactly what the HTTP layer would hand it.
+func canonicalSolve(t *testing.T, body string) serve.SolveRequest {
+	t.Helper()
+	req, _, err := serve.CanonicalSolve([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+func TestSolve(t *testing.T) {
+	resp, err := Sim{}.Solve(canonicalSolve(t, `{"model":{"size_billions":4},"coopt":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Window.M < 1 {
+		t.Errorf("window m = %d, want >= 1", resp.Window.M)
+	}
+	if resp.ModelBillions < 3.5 || resp.ModelBillions > 4.5 {
+		t.Errorf("model billions = %v, want ~4", resp.ModelBillions)
+	}
+	if !resp.Window.AsyncFeasible {
+		t.Error("4B on a V100 should be async-feasible")
+	}
+	if resp.Window.Streams < 1 {
+		t.Errorf("streams = %d, want >= 1", resp.Window.Streams)
+	}
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	req := canonicalSolve(t, `{"model":{"size_billions":4}}`)
+	a, err := Sim{}.Solve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sim{}.Solve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("solve not deterministic:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestCapacityDefaultsToSingleNodeMethods(t *testing.T) {
+	req, _, err := serve.CanonicalCapacity([]byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := Sim{}.Capacity(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) == 0 {
+		t.Fatal("no capacity rows")
+	}
+	var sawStronghold, sawMegatron float64
+	for _, row := range resp.Rows {
+		if row.Method == "zero-2" || row.Method == "zero-3" {
+			t.Errorf("distributed method %s in the default single-node table", row.Method)
+		}
+		if row.MaxBillions <= 0 {
+			t.Errorf("%s: max = %v, want > 0", row.Method, row.MaxBillions)
+		}
+		switch row.Method {
+		case "stronghold":
+			sawStronghold = row.MaxBillions
+		case "megatron-lm":
+			sawMegatron = row.MaxBillions
+		}
+	}
+	// The paper's headline: STRONGHOLD trains far larger models than
+	// keeping everything GPU-resident.
+	if sawStronghold <= 10*sawMegatron {
+		t.Errorf("stronghold %vB vs megatron %vB: expected >10x", sawStronghold, sawMegatron)
+	}
+}
+
+func TestCapacityExplicitMethods(t *testing.T) {
+	req, _, err := serve.CanonicalCapacity([]byte(`{"methods":["stronghold","megatron"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := Sim{}.Capacity(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(resp.Rows))
+	}
+	if resp.Rows[0].Method != "megatron-lm" || resp.Rows[1].Method != "stronghold" {
+		t.Errorf("rows out of registry order: %+v", resp.Rows)
+	}
+}
+
+func TestWhatIf(t *testing.T) {
+	req, _, err := serve.CanonicalWhatIf([]byte(
+		`{"model":{"size_billions":2},"faults":"h2d:slow(at=0s,dur=30s,every=60s,factor=0.6)"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := Sim{}.WhatIf(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Clean.SamplesPerSec <= 0 {
+		t.Errorf("clean throughput = %v, want > 0", resp.Clean.SamplesPerSec)
+	}
+	if resp.RetentionPc <= 0 || resp.RetentionPc > 100.5 {
+		t.Errorf("retention = %v%%, want (0, 100]", resp.RetentionPc)
+	}
+}
+
+func TestWhatIfOOM(t *testing.T) {
+	req, _, err := serve.CanonicalWhatIf([]byte(
+		`{"model":{"size_billions":500},"faults":"h2d:slow(at=0s,dur=1s,every=2s,factor=0.5)"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Sim{}).WhatIf(req); err == nil || !strings.Contains(err.Error(), "does not fit") {
+		t.Errorf("500B what-if should report an OOM error, got %v", err)
+	}
+}
+
+// TestUnknownPlatformKey covers the defensive error path: the
+// canonicalizer should make these unreachable, but the backend must
+// not panic if handed a raw request.
+func TestUnknownPlatformKey(t *testing.T) {
+	if _, err := (Sim{}).Solve(serve.SolveRequest{Platform: "tpu"}); err == nil {
+		t.Error("solve accepted unknown platform")
+	}
+	if _, err := (Sim{}).Capacity(serve.CapacityRequest{Platform: "tpu"}); err == nil {
+		t.Error("capacity accepted unknown platform")
+	}
+	if _, err := (Sim{}).WhatIf(serve.WhatIfRequest{Platform: "tpu"}); err == nil {
+		t.Error("whatif accepted unknown platform")
+	}
+}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	if _, ok := c.Get("a"); !ok { // refresh a: now b is oldest
+		t.Fatal("a missing")
+	}
+	c.Put("c", []byte("C")) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	for _, key := range []string{"a", "c"} {
+		if _, ok := c.Get(key); !ok {
+			t.Errorf("%s should still be cached", key)
+		}
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCachePutRefreshes(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	c.Put("a", []byte("A2")) // refresh, not insert
+	c.Put("c", []byte("C"))  // evicts b, not a
+	if body, ok := c.Get("a"); !ok || string(body) != "A2" {
+		t.Errorf("a = %q, %v; want A2", body, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(-1)
+	c.Put("a", []byte("A"))
+	if _, ok := c.Get("a"); ok {
+		t.Error("disabled cache served a hit")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0", c.Len())
+	}
+}
+
+func TestCacheBoundHolds(t *testing.T) {
+	c := newResultCache(8)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte("v"))
+		if c.Len() > 8 {
+			t.Fatalf("cache grew past bound: %d", c.Len())
+		}
+	}
+	if c.Len() != 8 {
+		t.Errorf("Len = %d, want 8", c.Len())
+	}
+}

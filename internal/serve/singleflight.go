@@ -1,0 +1,49 @@
+package serve
+
+import "sync"
+
+// flightGroup deduplicates concurrent identical work: under N
+// simultaneous requests with the same canonical hash, exactly one
+// (the leader) runs the computation; the others (followers) block on
+// its completion and share the result. Together with the result cache
+// this gives the single-simulation-per-unique-hash guarantee the
+// concurrency suite asserts.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done   chan struct{}
+	status int
+	body   []byte
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// Do runs fn under key, or joins an in-flight run of the same key.
+// It returns fn's (status, body) and whether this caller was a
+// follower (shared someone else's result). fn runs exactly once per
+// concurrent group; once the group drains, a later Do runs fn again
+// (by then the result cache answers instead).
+func (g *flightGroup) Do(key string, fn func() (int, []byte)) (status int, body []byte, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.status, c.body, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.status, c.body = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.status, c.body, false
+}

@@ -107,28 +107,18 @@ func (c SimConfig) resolve() (modelcfg.Config, hw.Platform, error) {
 	if err != nil {
 		return modelcfg.Config{}, hw.Platform{}, err
 	}
-	hidden := c.Hidden
-	if hidden == 0 {
-		hidden = 2560
+	spec := modelcfg.ConfigSpec{
+		SizeBillions:  c.SizeBillions,
+		Layers:        c.Layers,
+		Hidden:        c.Hidden,
+		BatchSize:     c.BatchSize,
+		ModelParallel: c.ModelParallel,
 	}
-	mp := c.ModelParallel
-	if mp == 0 {
-		mp = 1
+	cfg, err := spec.Resolve()
+	if err != nil {
+		return modelcfg.Config{}, hw.Platform{}, fmt.Errorf("stronghold: %w", err)
 	}
-	var cfg modelcfg.Config
-	switch {
-	case c.Layers > 0:
-		cfg = modelcfg.NewConfig(c.Layers, hidden, 16)
-		cfg.ModelParallel = mp
-	case c.SizeBillions > 0:
-		cfg = modelcfg.ConfigForSize(c.SizeBillions, hidden, mp)
-	default:
-		return modelcfg.Config{}, hw.Platform{}, fmt.Errorf("stronghold: set SizeBillions or Layers")
-	}
-	if c.BatchSize > 0 {
-		cfg.BatchSize = c.BatchSize
-	}
-	return cfg, plat, cfg.Validate()
+	return cfg, plat, nil
 }
 
 // SimResult reports one simulated steady-state training iteration.
@@ -268,23 +258,35 @@ type WindowPlan struct {
 	MemoryBound   bool // clamped by S_avail
 	AsyncFeasible bool // Eq. 5
 	Streams       int  // §IV-A worker count the warm-up would pick
+	// OptGPUFrac is the co-optimized GPU share of each offloaded
+	// layer's optimizer update (zero unless CoOpt engaged the split —
+	// see SimConfig.CoOpt).
+	OptGPUFrac float64
 }
 
 // PlanWindow runs warm-up profiling plus the §III-D analytical model
 // and returns the working-window decision without simulating training.
+// With CoOpt set, the solver additionally sweeps the method's declared
+// decision variables (window size × fractional optimizer placement)
+// and reports the chosen split in OptGPUFrac.
 func PlanWindow(c SimConfig) (WindowPlan, error) {
 	cfg, plat, err := c.resolve()
 	if err != nil {
 		return WindowPlan{}, err
 	}
 	e := core.NewEngine(perf.NewModel(cfg, plat))
-	d, err := e.SolvedWindow()
+	if info := modelcfg.Lookup(c.Method); info != nil && info.Engine == modelcfg.EngineCore {
+		e.Feat.UseNVMe = info.NVMe
+	}
+	e.CoOpt = c.CoOpt
+	d, err := e.SolvedDecision()
 	if err != nil {
 		return WindowPlan{}, err
 	}
 	return WindowPlan{
 		Window: d.M, MForward: d.MFP, MBackward: d.MBP, MOptimizer: d.MOpt,
 		MemoryBound: d.MemoryBound, AsyncFeasible: d.AsyncFeasible,
-		Streams: e.PickStreams(d.M),
+		Streams:    e.PickStreams(d.M),
+		OptGPUFrac: d.OptGPUFrac,
 	}, nil
 }
